@@ -1,0 +1,142 @@
+// Command edgecolor runs one distributed edge-coloring algorithm on one
+// generated graph and reports colors, rounds, and message statistics.
+//
+// Example:
+//
+//	edgecolor -graph gnm -n 256 -m 2048 -alg be -b 2 -p 6
+//	edgecolor -graph regular -n 512 -deg 16 -alg pr
+//	edgecolor -graph gnm -n 256 -m 1024 -alg rand -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/edgecolor"
+	"repro/internal/graph"
+	"repro/internal/panconesi"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "edgecolor:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("edgecolor", flag.ContinueOnError)
+	var (
+		gtype = fs.String("graph", "gnm", "graph family: gnm|regular|clique|cycle|tree|fig1")
+		n     = fs.Int("n", 256, "number of vertices")
+		m     = fs.Int("m", 1024, "number of edges (gnm)")
+		deg   = fs.Int("deg", 8, "degree (regular) / k (fig1)")
+		seed  = fs.Int64("seed", 1, "generator and algorithm seed")
+		alg   = fs.String("alg", "be", "algorithm: be|pr|greedy|rand|tradeoff|cor62")
+		bFlag = fs.Int("b", 2, "Algorithm 1 parameter b")
+		pFlag = fs.Int("p", 6, "Algorithm 1 parameter p")
+		mode  = fs.String("mode", "wide", "message mode: wide|short")
+		quiet = fs.Bool("q", false, "suppress the per-edge coloring dump")
+		dot   = fs.String("dot", "", "write the colored graph in Graphviz DOT format to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g, err := makeGraph(*gtype, *n, *m, *deg, *seed)
+	if err != nil {
+		return err
+	}
+	msgMode := edgecolor.Wide
+	if *mode == "short" {
+		msgMode = edgecolor.Short
+	}
+	fmt.Printf("graph: %v\n", g)
+
+	var (
+		ports *dist.Result[[]int]
+	)
+	switch *alg {
+	case "be":
+		pl, err := core.AutoPlan(g.MaxDegree(), 2, *bFlag, *pFlag, true)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("plan:  %v\n", pl)
+		ports, err = edgecolor.LegalEdgeColoring(g, pl, msgMode, dist.WithSeed(*seed))
+		if err != nil {
+			return err
+		}
+	case "pr":
+		ports, err = panconesi.EdgeColoring(g, dist.WithSeed(*seed))
+	case "greedy":
+		ports, err = baseline.GreedyEdgeColoring(g, dist.WithSeed(*seed))
+	case "rand":
+		ports, err = baseline.RandomizedTrialEdgeColoring(g, dist.WithSeed(*seed))
+	case "tradeoff":
+		ports, err = edgecolor.TradeoffEdgeColoring(g, *bFlag, *pFlag, g.MaxDegree()/2, msgMode, dist.WithSeed(*seed))
+	case "cor62":
+		ports, err = edgecolor.RandomizedEdgeColoring(g, *bFlag, *pFlag, 8, msgMode, dist.WithSeed(*seed))
+	default:
+		return fmt.Errorf("unknown algorithm %q", *alg)
+	}
+	if err != nil {
+		return err
+	}
+	colors, err := graph.MergePortColors(g, ports.Outputs)
+	if err != nil {
+		return err
+	}
+	if err := graph.CheckEdgeColoring(g, colors); err != nil {
+		return fmt.Errorf("result is not a legal edge coloring: %w", err)
+	}
+	fmt.Printf("legal edge coloring: %d colors (2Δ-1 = %d), stats: %v\n",
+		graph.CountColors(colors), 2*g.MaxDegree()-1, ports.Stats)
+	if *dot != "" {
+		f, err := os.Create(*dot)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := graph.WriteDOT(f, g, nil, colors); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *dot)
+	}
+	if !*quiet {
+		limit := len(colors)
+		if limit > 20 {
+			limit = 20
+		}
+		for id := 0; id < limit; id++ {
+			e := g.EdgeAt(id)
+			fmt.Printf("  edge (%d,%d) -> color %d\n", e.U, e.V, colors[id])
+		}
+		if limit < len(colors) {
+			fmt.Printf("  ... and %d more edges\n", len(colors)-limit)
+		}
+	}
+	return nil
+}
+
+func makeGraph(gtype string, n, m, deg int, seed int64) (*graph.Graph, error) {
+	switch gtype {
+	case "gnm":
+		return graph.GNM(n, m, seed), nil
+	case "regular":
+		return graph.RandomRegular(n, deg, seed), nil
+	case "clique":
+		return graph.Complete(n), nil
+	case "cycle":
+		return graph.Cycle(n), nil
+	case "tree":
+		return graph.RandomTree(n, seed), nil
+	case "fig1":
+		return graph.CliquePlusPendants(deg), nil
+	default:
+		return nil, fmt.Errorf("unknown graph family %q", gtype)
+	}
+}

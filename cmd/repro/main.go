@@ -1,0 +1,77 @@
+// Command repro regenerates every table and figure of the reproduction:
+// Tables 1-2 and Figures 1-3 of the paper, plus the theorem-level claim
+// experiments E1-E8 indexed in DESIGN.md.
+//
+// Usage:
+//
+//	repro -list             # enumerate experiments
+//	repro -exp table1       # run one experiment
+//	repro -exp all          # run everything (EXPERIMENTS.md source data)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	var (
+		name   = fs.String("exp", "all", "experiment name or 'all'")
+		list   = fs.Bool("list", false, "list experiments and exit")
+		outDir = fs.String("out", "", "also write each experiment's tables to <out>/<name>.txt")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-14s %s\n", e.Name, e.Desc)
+		}
+		return nil
+	}
+	runOne := func(e exp.Experiment) error {
+		var w io.Writer = os.Stdout
+		if *outDir != "" {
+			if err := os.MkdirAll(*outDir, 0o755); err != nil {
+				return err
+			}
+			f, err := os.Create(filepath.Join(*outDir, e.Name+".txt"))
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			w = io.MultiWriter(os.Stdout, f)
+		}
+		if err := e.Run(w); err != nil {
+			return fmt.Errorf("%s: %w", e.Name, err)
+		}
+		return nil
+	}
+	if *name == "all" {
+		for _, e := range exp.All() {
+			fmt.Printf("### %s — %s\n\n", e.Name, e.Desc)
+			if err := runOne(e); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	e, ok := exp.Lookup(*name)
+	if !ok {
+		return fmt.Errorf("unknown experiment %q (use -list)", *name)
+	}
+	return runOne(e)
+}

@@ -1,0 +1,19 @@
+// Package repro is a from-scratch Go reproduction of
+//
+//	Leonid Barenboim, Michael Elkin.
+//	"Distributed Deterministic Edge Coloring using Bounded Neighborhood
+//	Independence." PODC 2011 (arXiv:1010.2454).
+//
+// The library implements the paper's LOCAL-model algorithms — Procedure
+// Defective-Color, Procedure Legal-Color, their §5 edge-coloring variants
+// for general graphs, and the §6 extensions — together with every substrate
+// they depend on (a synchronous message-passing simulator with one goroutine
+// per vertex, Linial's cover-free color reduction, Kuhn's defective
+// colorings, Cole–Vishkin forest 3-coloring, Panconesi–Rizzi edge coloring)
+// and the baselines the paper compares against.
+//
+// Start at DESIGN.md for the system inventory, EXPERIMENTS.md for the
+// measured reproduction of every table and figure, examples/quickstart for
+// the API, and cmd/repro to regenerate all experiment artifacts. The root
+// bench_test.go exposes one benchmark per paper artifact.
+package repro

@@ -1,0 +1,57 @@
+// Boundedgrowth: frequency assignment in a wireless mesh. Radios at random
+// positions interfere within range; the interference graph is a unit-disk
+// graph — a bounded-growth family (§1.2), which the paper notes is strictly
+// contained in the bounded-neighborhood-independence family its algorithms
+// support. We certify the instance's I(G), then run Legal-Color to assign
+// frequencies so that no two interfering radios share one.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+func main() {
+	// 500 radios in the unit square, interference radius 0.06.
+	g := graph.Geometric(500, 0.06, 17)
+	fmt.Printf("wireless mesh: %v\n", g)
+
+	// Unit-disk neighborhoods split into few independent "sectors": compute
+	// the exact neighborhood independence of this instance (theory: <= 5
+	// for unit-disk graphs) and hand it to the algorithm as the paper's c.
+	c := graph.NeighborhoodIndependence(g)
+	fmt.Printf("neighborhood independence: %d (unit-disk theory bound: 5)\n", c)
+	if c < 1 {
+		fmt.Println("graph has no edges; single frequency suffices")
+		return
+	}
+
+	plan, err := core.AutoPlan(g.MaxDegree(), c, 2, 4*c+1, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: %v\n", plan)
+	res, err := core.LegalColoring(g, plan, core.StartAux)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := graph.CheckVertexColoring(g, res.Outputs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("frequencies used: %d (Δ=%d) in %d rounds, max message %dB\n",
+		graph.CountColors(res.Outputs), g.MaxDegree(), res.Stats.Rounds,
+		res.Stats.MaxMessageBytes)
+
+	// The Figure-1 contrast: growth-bounded algorithms (e.g. [28]) need
+	// f(r)-bounded growth; the paper's algorithm only needs bounded I(G).
+	worst := 0
+	for v := 0; v < g.N(); v += 50 {
+		if gr := graph.GrowthAt(g, v, 2); gr > worst {
+			worst = gr
+		}
+	}
+	fmt.Printf("sampled growth at r=2: %d (bounded, as unit-disk theory predicts)\n", worst)
+}

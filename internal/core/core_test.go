@@ -1,0 +1,312 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// boundedNIGraphs returns test graphs with known neighborhood independence.
+func boundedNIGraphs() []struct {
+	name string
+	g    *graph.Graph
+	c    int
+} {
+	lg1 := graph.GNM(60, 240, 1).LineGraph()
+	lg2 := graph.RandomRegular(40, 6, 2).LineGraph()
+	h := graph.RandomHypergraph(40, 60, 3, 3)
+	return []struct {
+		name string
+		g    *graph.Graph
+		c    int
+	}{
+		{"linegraph-gnm", lg1, 2},
+		{"linegraph-regular", lg2, 2},
+		{"hypergraph-r3", h.LineGraph(), 3},
+		{"fig1", graph.CliquePlusPendants(16), 2},
+		{"powercycle", graph.PowerOfCycle(80, 5), 2},
+	}
+}
+
+func TestNewPlanValidation(t *testing.T) {
+	if _, err := NewPlan(100, 0, 2, 4, 16, false); err == nil {
+		t.Error("c=0 accepted")
+	}
+	if _, err := NewPlan(100, 2, 0, 4, 16, false); err == nil {
+		t.Error("b=0 accepted")
+	}
+	if _, err := NewPlan(100, 2, 2, 1, 16, false); err == nil {
+		t.Error("p=1 accepted")
+	}
+	if _, err := NewPlan(100, 2, 4, 8, 16, false); err == nil {
+		t.Error("λ < b·p accepted")
+	}
+	// Stalling parameters: p too small for c=2 makes Λ' >= Λ.
+	if _, err := NewPlan(1000, 2, 1, 2, 2, false); err == nil {
+		t.Error("stalling recursion accepted")
+	}
+}
+
+func TestPlanLevelsDecreaseAndThetas(t *testing.T) {
+	pl, err := NewPlan(500, 2, 2, 8, 16, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(pl.Levels); i++ {
+		if pl.Levels[i] >= pl.Levels[i-1] {
+			t.Fatalf("levels not strictly decreasing: %v", pl.Levels)
+		}
+	}
+	if pl.LeafBound() > pl.Lambda {
+		t.Fatalf("leaf bound %d exceeds λ=%d", pl.LeafBound(), pl.Lambda)
+	}
+	r := pl.Depth()
+	if pl.Thetas[r] != pl.LeafBound()+1 {
+		t.Fatalf("leaf theta %d, want Λ+1 = %d", pl.Thetas[r], pl.LeafBound()+1)
+	}
+	for i := 0; i < r; i++ {
+		if pl.Thetas[i] != pl.P*pl.Thetas[i+1] {
+			t.Fatalf("theta chain broken at %d: %v", i, pl.Thetas)
+		}
+	}
+	if pl.TotalPalette() != pl.Thetas[0] {
+		t.Fatal("TotalPalette mismatch")
+	}
+}
+
+func TestAutoPlanProgresses(t *testing.T) {
+	for _, delta := range []int{10, 50, 200, 1000} {
+		pl, err := AutoPlan(delta, 2, 2, 8, false)
+		if err != nil {
+			t.Fatalf("Δ=%d: %v", delta, err)
+		}
+		if pl.Depth() < 1 && delta > pl.Lambda {
+			t.Fatalf("Δ=%d: no recursion", delta)
+		}
+	}
+}
+
+func TestPlanEdgeModeUsesCor54Defect(t *testing.T) {
+	plV, err := NewPlan(400, 2, 8, 8, 64, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plE, err := NewPlan(400, 2, 8, 8, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge mode ϕ-defect = 4⌈Λ/(bp)⌉ >= vertex mode ⌊Λ/(bp)⌋.
+	if plE.PhiDef[0] < plV.PhiDef[0] {
+		t.Fatalf("edge ϕ-defect %d < vertex %d", plE.PhiDef[0], plV.PhiDef[0])
+	}
+	if plE.PhiDef[0] != 4*((400+63)/64) {
+		t.Fatalf("edge ϕ-defect = %d, want 4⌈Λ/(bp)⌉ = %d", plE.PhiDef[0], 4*((400+63)/64))
+	}
+	// Edge leaf palette is 2Λ-1 (P-R), vertex is Λ+1.
+	if plE.Thetas[plE.Depth()] != 2*plE.LeafBound()-1 {
+		t.Fatal("edge leaf palette not 2Λ-1")
+	}
+}
+
+func TestDefectiveColoringCorollary38(t *testing.T) {
+	for _, tc := range boundedNIGraphs() {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.g
+			delta := g.MaxDegree()
+			b, p := 2, 4
+			if b*p > delta {
+				b, p = 1, 2
+			}
+			res, err := DefectiveColoring(g, tc.c, b, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			bound := DefectiveColoringBound(delta, tc.c, b, p)
+			if err := graph.CheckDefectiveVertexColoring(g, res.Outputs, bound, p); err != nil {
+				t.Fatal(err)
+			}
+			// The headline property: defect * colors = O(Δ).
+			d := graph.VertexDefect(g, res.Outputs)
+			if product := d * p; product > 4*tc.c*delta+8*tc.c {
+				t.Fatalf("defect·colors = %d not linear in Δ=%d", product, delta)
+			}
+		})
+	}
+}
+
+func TestDefectiveColoringParamValidation(t *testing.T) {
+	g := graph.CliquePlusPendants(6)
+	if _, err := DefectiveColoring(g, 2, 0, 2); err == nil {
+		t.Error("b=0 accepted")
+	}
+	if _, err := DefectiveColoring(g, 2, 10, 10); err == nil {
+		t.Error("b·p > Δ accepted")
+	}
+}
+
+func TestLegalColoringBothModes(t *testing.T) {
+	for _, tc := range boundedNIGraphs() {
+		g := tc.g
+		delta := g.MaxDegree()
+		pl, err := AutoPlan(delta, tc.c, 2, 4*tc.c+1, false)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for _, mode := range []Mode{StartIDs, StartAux} {
+			name := tc.name
+			if mode == StartAux {
+				name += "-aux"
+			}
+			t.Run(name, func(t *testing.T) {
+				res, err := LegalColoring(g, pl, mode)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := graph.CheckVertexColoring(g, res.Outputs); err != nil {
+					t.Fatal(err)
+				}
+				if mc := graph.MaxColor(res.Outputs); mc > pl.TotalPalette() {
+					t.Fatalf("color %d outside promised palette %d", mc, pl.TotalPalette())
+				}
+			})
+		}
+	}
+}
+
+func TestLegalColoringRejectsMismatchedPlan(t *testing.T) {
+	g := graph.CliquePlusPendants(8)
+	plEdge, err := NewPlan(64, 2, 8, 8, 64, true) // leaf-only edge plan
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LegalColoring(g, plEdge, StartIDs); err == nil {
+		t.Error("edge-mode plan accepted by vertex coloring")
+	}
+	plSmall, err := NewPlan(3, 2, 1, 3, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LegalColoring(g, plSmall, StartIDs); err == nil {
+		t.Error("plan with Δ smaller than graph accepted")
+	}
+}
+
+func TestLegalColoringAuxModeFasterPerLevel(t *testing.T) {
+	// §4.2: seeding chains from the auxiliary O(Δ²)-coloring should not be
+	// slower than seeding from identifiers once n is much larger than Δ.
+	g := graph.PowerOfCycle(600, 3) // Δ=6, I(G)=2
+	pl, err := AutoPlan(g.MaxDegree(), 2, 1, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resIDs, err := LegalColoring(g, pl, StartIDs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resAux, err := LegalColoring(g, pl, StartAux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.CheckVertexColoring(g, resAux.Outputs); err != nil {
+		t.Fatal(err)
+	}
+	if resAux.Stats.Rounds > resIDs.Stats.Rounds+10 {
+		t.Fatalf("aux mode rounds %d much worse than IDs mode %d",
+			resAux.Stats.Rounds, resIDs.Stats.Rounds)
+	}
+}
+
+func TestLegalColoringLinearPreset(t *testing.T) {
+	g := graph.GNM(100, 800, 4).LineGraph()
+	delta := g.MaxDegree()
+	pl, err := LinearColorsPlan(delta, 2, 1.5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LegalColoring(g, pl, StartAux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.CheckVertexColoring(g, res.Outputs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPolyColorsPlanProducesMoreLevels(t *testing.T) {
+	// Larger p should reduce depth; smaller p increases it (more levels).
+	plSmall, err := PolyColorsPlan(2000, 2, 9, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plBig, err := PolyColorsPlan(2000, 2, 40, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plSmall.Depth() < plBig.Depth() {
+		t.Fatalf("depth(p=9)=%d < depth(p=40)=%d", plSmall.Depth(), plBig.Depth())
+	}
+}
+
+func TestRandomizedColoring(t *testing.T) {
+	g := graph.GNM(70, 560, 5).LineGraph() // sizeable Δ
+	res, err := RandomizedColoring(g, 2, 2, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.CheckVertexColoring(g, res.Outputs); err != nil {
+		t.Fatal(err)
+	}
+	bound, err := RandomizedPaletteBound(g, 2, 2, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc := graph.MaxColor(res.Outputs); mc > bound {
+		t.Fatalf("color %d outside promised palette %d", mc, bound)
+	}
+}
+
+func TestRandomizedColoringSmallDelta(t *testing.T) {
+	// Δ = O(log n) path: falls back to deterministic Legal-Color.
+	g := graph.PowerOfCycle(200, 2)
+	res, err := RandomizedColoring(g, 2, 1, 5, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.CheckVertexColoring(g, res.Outputs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTradeoffColoring(t *testing.T) {
+	g := graph.GNM(80, 640, 6).LineGraph()
+	delta := g.MaxDegree()
+	for _, classDeg := range []int{delta / 2, delta / 4} {
+		if classDeg < 5 {
+			continue
+		}
+		res, err := TradeoffColoring(g, 2, 2, 5, classDeg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := graph.CheckVertexColoring(g, res.Outputs); err != nil {
+			t.Fatal(err)
+		}
+		bound, err := TradeoffPaletteBound(g, 2, 2, 5, classDeg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mc := graph.MaxColor(res.Outputs); mc > bound {
+			t.Fatalf("classDeg=%d: color %d outside palette %d", classDeg, mc, bound)
+		}
+	}
+}
+
+func TestTradeoffRejectsBadClassDeg(t *testing.T) {
+	g := graph.CliquePlusPendants(8)
+	if _, err := TradeoffColoring(g, 2, 2, 5, 0); err == nil {
+		t.Error("classDeg=0 accepted")
+	}
+	if _, err := TradeoffColoring(g, 2, 2, 5, g.MaxDegree()+1); err == nil {
+		t.Error("classDeg>Δ accepted")
+	}
+}

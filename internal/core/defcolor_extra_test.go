@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/defective"
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+// TestEventDrivenMatchesFixedWindow verifies that Algorithm 1 computes the
+// same ψ whether the while-loop runs event-driven (Lemma 3.2) or padded to
+// the fixed #ϕ-palette window: the announcement schedule is identical, the
+// window only pads the tail.
+func TestEventDrivenMatchesFixedWindow(t *testing.T) {
+	g := graph.RandomRegular(128, 10, 31).LineGraph()
+	delta := g.MaxDegree()
+	b, p := 2, 4
+	phiSteps := defective.Schedule(g.N(), delta, delta/(b*p))
+	run := func(window bool) (*dist.Result[int], error) {
+		return dist.Run(g, func(v dist.Process) int {
+			return DefectiveColorStep(v, nil, p, phiSteps, v.ID(), g.N(), window).Psi
+		})
+	}
+	fixed, err := run(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	event, err := run(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range fixed.Outputs {
+		if fixed.Outputs[v] != event.Outputs[v] {
+			t.Fatalf("vertex %d: fixed %d vs event-driven %d", v,
+				fixed.Outputs[v], event.Outputs[v])
+		}
+	}
+	if event.Stats.Rounds > fixed.Stats.Rounds {
+		t.Fatalf("event-driven rounds %d exceed fixed window %d",
+			event.Stats.Rounds, fixed.Stats.Rounds)
+	}
+}
+
+// TestDefectiveColorStepNeighborPsi checks the NbrPsi side channel that
+// Legal-Color uses to split subgraphs: reported neighbor colors must match
+// the neighbors' own outputs.
+func TestDefectiveColorStepNeighborPsi(t *testing.T) {
+	g := graph.PowerOfCycle(60, 4)
+	delta := g.MaxDegree()
+	b, p := 1, 4
+	phiSteps := defective.Schedule(g.N(), delta, delta/(b*p))
+	res, err := dist.Run(g, func(v dist.Process) DefectiveResult {
+		return DefectiveColorStep(v, nil, p, phiSteps, v.ID(), g.N(), true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		for port, u := range g.Neighbors(v) {
+			if got, want := res.Outputs[v].NbrPsi[port], res.Outputs[u].Psi; got != want {
+				t.Fatalf("vertex %d port %d: NbrPsi %d, neighbor's ψ %d", v, port, got, want)
+			}
+		}
+	}
+}
+
+// TestSubPolyColorsPlan exercises the Theorem 4.8(3) preset.
+func TestSubPolyColorsPlan(t *testing.T) {
+	pl, err := SubPolyColorsPlan(5000, 2, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.Depth() < 1 {
+		t.Fatalf("plan %v has no recursion", pl)
+	}
+	// The λ threshold should be polylogarithmic in Δ, far below Δ.
+	if pl.Lambda >= 5000/2 {
+		t.Fatalf("λ = %d is not sub-polynomial in Δ", pl.Lambda)
+	}
+	if _, err := SubPolyColorsPlan(100, 2, 0, false); err == nil {
+		t.Error("eta=0 accepted")
+	}
+	// And it actually colors a graph.
+	g := graph.CliquePlusPendants(24)
+	plG, err := SubPolyColorsPlan(g.MaxDegree(), 2, 3, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LegalColoring(g, plG, StartAux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.CheckVertexColoring(g, res.Outputs); err != nil {
+		t.Fatal(err)
+	}
+}

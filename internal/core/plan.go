@@ -1,0 +1,250 @@
+// Package core implements the paper's primary contribution: vertex coloring
+// of graphs with neighborhood independence bounded by c, via
+//
+//   - Procedure Defective-Color (Algorithm 1, §3): an O(Δ/p)-defective
+//     p-coloring in O((bp)²) + log* n rounds — the first defective-coloring
+//     routine whose defect·colors product is linear in Δ, and
+//   - Procedure Legal-Color (Algorithm 2, §4): the recursion that turns it
+//     into legal O(Δ)- and O(Δ^{1+ε})-colorings (Theorems 4.5, 4.6, 4.8),
+//
+// plus the §6 extensions (randomized combination with Kuhn–Wattenhofer and
+// the colors/time tradeoff) in their vertex-coloring form. The edge-coloring
+// variants for general graphs live in package edgecolor.
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Plan fixes the parameters (b, p, λ, c) of Procedure Legal-Color and
+// precomputes the per-level degree bounds Λ⁽⁰⁾ > Λ⁽¹⁾ > … > Λ⁽ʳ⁾ ≤ λ and the
+// uniform per-level palette sizes ϑ⁽ⁱ⁾ of the recursion tree (Lemma 4.4
+// shows all invocations at one level share these values, which is what makes
+// the level-synchronous execution below faithful to Algorithm 2).
+type Plan struct {
+	B, P   int // Algorithm 1 parameters b and p
+	Lambda int // recursion threshold λ
+	C      int // neighborhood-independence bound c (c=2 for line graphs)
+	Delta  int // Λ⁽⁰⁾, the input degree bound
+	Edge   bool
+	Levels []int // Λ⁽⁰⁾..Λ⁽ʳ⁾; r = len(Levels)-1 recursion depth
+	Thetas []int // ϑ⁽⁰⁾..ϑ⁽ʳ⁾; ϑ⁽ⁱ⁾ = p·ϑ⁽ⁱ⁺¹⁾, ϑ⁽ʳ⁾ = leaf palette
+	PhiDef []int // per recursion level: the defect bound of the ϕ coloring
+}
+
+// NextLevel returns Λ′ from Λ per line 6 of Algorithm 2: the defect bound of
+// the ψ coloring computed by Procedure Defective-Color (Theorem 3.7). In the
+// edge variant the ϕ subroutine is Kuhn's O(1)-round routine (Cor 5.4) whose
+// defect is 4⌈Λ/(bp)⌉ instead of ⌊Λ/(bp)⌋, and c = 2 (Lemma 5.1).
+func nextLevel(lam, b, p, c int, edge bool) (lamNext, phiDefect int) {
+	if edge {
+		phiDefect = 4 * ceilDiv(lam, b*p)
+	} else {
+		phiDefect = lam / (b * p)
+	}
+	return (phiDefect+lam/p)*c + c, phiDefect
+}
+
+// EdgeLevelBounds returns, for the §5 edge variant at degree bound Λ with
+// parameters b, p: the Theorem 3.7 defect bound of ψ (which is the next
+// level's Λ′) and the defect of the Corollary 5.4 coloring ϕ; c = 2 because
+// line graphs have neighborhood independence at most 2 (Lemma 5.1).
+func EdgeLevelBounds(lam, b, p int) (lamNext, phiDefect int) {
+	return nextLevel(lam, b, p, 2, true)
+}
+
+// NewPlan validates parameters and lays out the recursion. Constraints from
+// the paper: b ≥ 1, p ≥ 2, b·p ≤ λ ≤ Δ (so that every recursive invocation
+// satisfies b·p ≤ Λ), and every level must strictly reduce Λ.
+func NewPlan(delta, c, b, p, lambda int, edge bool) (*Plan, error) {
+	switch {
+	case c < 1:
+		return nil, fmt.Errorf("core: c=%d must be >= 1", c)
+	case b < 1 || p < 2:
+		return nil, fmt.Errorf("core: need b>=1 (got %d) and p>=2 (got %d)", b, p)
+	case lambda < b*p && delta > lambda:
+		// The b·p <= Λ precondition of Algorithm 1 only matters when the
+		// recursion actually invokes it (Δ > λ); leaf-only plans are fine.
+		return nil, fmt.Errorf("core: λ=%d < b·p=%d violates the b·p <= Λ precondition", lambda, b*p)
+	case delta < 1:
+		return nil, fmt.Errorf("core: Δ=%d must be >= 1", delta)
+	}
+	pl := &Plan{B: b, P: p, Lambda: lambda, C: c, Delta: delta, Edge: edge}
+	lam := delta
+	pl.Levels = append(pl.Levels, lam)
+	for lam > lambda {
+		next, phiDef := nextLevel(lam, b, p, c, edge)
+		if next >= lam {
+			return nil, fmt.Errorf("core: recursion stalls at Λ=%d (Λ'=%d); increase p or λ", lam, next)
+		}
+		pl.PhiDef = append(pl.PhiDef, phiDef)
+		pl.Levels = append(pl.Levels, next)
+		lam = next
+	}
+	r := len(pl.Levels) - 1
+	pl.Thetas = make([]int, r+1)
+	leaf := pl.Levels[r]
+	if edge {
+		pl.Thetas[r] = maxInt(2*leaf-1, 1) // Panconesi–Rizzi leaf palette
+	} else {
+		pl.Thetas[r] = leaf + 1 // (Λ+1)-coloring leaf palette
+	}
+	for i := r - 1; i >= 0; i-- {
+		pl.Thetas[i] = p * pl.Thetas[i+1]
+	}
+	return pl, nil
+}
+
+// Depth returns r, the number of Defective-Color levels before the leaf.
+func (pl *Plan) Depth() int { return len(pl.Levels) - 1 }
+
+// TotalPalette returns ϑ⁽⁰⁾, the bound on the number of colors produced.
+func (pl *Plan) TotalPalette() int { return pl.Thetas[0] }
+
+// LeafBound returns Λ⁽ʳ⁾, the degree bound at the recursion leaves.
+func (pl *Plan) LeafBound() int { return pl.Levels[len(pl.Levels)-1] }
+
+func (pl *Plan) String() string {
+	return fmt.Sprintf("plan{b=%d p=%d λ=%d c=%d Δ=%d edge=%v levels=%v colors<=%d}",
+		pl.B, pl.P, pl.Lambda, pl.C, pl.Delta, pl.Edge, pl.Levels, pl.TotalPalette())
+}
+
+// AutoPlan builds a plan with the given b and p, choosing λ as small as the
+// recursion allows: it lowers Λ until progress stalls or Λ < b·p, and sets λ
+// there. This maximizes recursion depth (hence minimizes colors) for fixed
+// per-level cost — the practical analogue of the paper's λ settings, whose
+// literal values (e.g. λ = (3c+1)^{6t} in Theorem 4.6) are astronomically
+// large constants.
+func AutoPlan(delta, c, b, p int, edge bool) (*Plan, error) {
+	if b < 1 || p < 2 {
+		return nil, fmt.Errorf("core: need b>=1 (got %d) and p>=2 (got %d)", b, p)
+	}
+	if b*p >= delta {
+		// No recursion possible: a leaf-only plan colors directly.
+		return NewPlan(delta, c, b, p, delta, edge)
+	}
+	// Find the stall point: the smallest Λ reachable with strict progress,
+	// never dropping below the b·p <= Λ precondition.
+	lambda := b * p
+	lam := delta
+	for lam > lambda {
+		next, _ := nextLevel(lam, b, p, c, edge)
+		if next >= lam {
+			lambda = lam
+			break
+		}
+		lam = next
+	}
+	if lambda < b*p {
+		lambda = b * p
+	}
+	return NewPlan(delta, c, b, p, lambda, edge)
+}
+
+// LinearColorsPlan is the Theorem 4.5 preset, b = ⌈Δ^{ε/6}⌉, p = ⌈Δ^{ε/3}⌉,
+// λ = ⌈Δ^ε⌉: an O(Δ)-coloring in O(Δ^ε) + log* n time for Δ large enough.
+// At laptop-scale Δ the literal powers round to values that stall the
+// recursion, so the preset raises p to the smallest value making progress
+// (documented in EXPERIMENTS.md; the paper's asymptotics assume Δ beyond
+// practical scale).
+func LinearColorsPlan(delta, c int, eps float64, edge bool) (*Plan, error) {
+	if eps <= 0 || eps > 3 {
+		return nil, fmt.Errorf("core: eps=%v out of range (0,3]", eps)
+	}
+	b := ceilPow(delta, eps/6)
+	p := ceilPow(delta, eps/3)
+	if p < 2 {
+		p = 2
+	}
+	for ; p <= delta; p++ {
+		next, _ := nextLevel(delta, b, p, c, edge)
+		if next < delta {
+			break
+		}
+	}
+	lambda := maxInt(ceilPow(delta, eps), b*p)
+	if lambda > delta {
+		lambda = delta
+	}
+	if lambda < b*p {
+		lambda = minInt(b*p, delta)
+	}
+	return NewPlan(delta, c, b, p, lambda, edge)
+}
+
+// PolyColorsPlan is the practical analogue of the Theorem 4.6 preset
+// (constant b, p; λ as small as possible): O(log Δ) recursion levels with
+// O(1) per-level parameters, trading palette size O(Δ^{1+η}) for speed. The
+// paper's literal constants (p = (3c+1)^t, b = p², λ = p⁶) are impractical;
+// p controls the measured η: larger p gives smaller η.
+func PolyColorsPlan(delta, c, p int, edge bool) (*Plan, error) {
+	b := maxInt(2, 8/maxInt(1, p/4)) // small constant; edge variant favors b>=4
+	if pl, err := AutoPlan(delta, c, b, p, edge); err == nil {
+		return pl, nil
+	}
+	// Raise p until the recursion progresses.
+	for q := p; q <= maxInt(delta, p+64); q++ {
+		if pl, err := AutoPlan(delta, c, b, q, edge); err == nil {
+			return pl, nil
+		}
+	}
+	return nil, fmt.Errorf("core: no progressing plan found for Δ=%d c=%d", delta, c)
+}
+
+// SubPolyColorsPlan is the practical analogue of Theorem 4.8(3)
+// (Δ^{1+o(1)} colors in O((log Δ)^{1+ε}) + ½log* n time): λ is set near
+// (log Δ)^eta and p near λ^{1/6}, so both the per-level window and the leaf
+// stay polylogarithmic in Δ while the color overhead per level shrinks as Δ
+// grows. Falls back to raising p until the recursion progresses.
+func SubPolyColorsPlan(delta, c int, eta float64, edge bool) (*Plan, error) {
+	if eta <= 0 || eta > 6 {
+		return nil, fmt.Errorf("core: eta=%v out of range (0,6]", eta)
+	}
+	logD := math.Log2(float64(maxInt(delta, 2)))
+	lam := int(math.Pow(logD, eta))
+	p := maxInt(int(math.Pow(float64(lam), 1.0/6)), 2*c+2)
+	b := maxInt(p/2, 1)
+	for ; p <= delta; p++ {
+		next, _ := nextLevel(delta, b, p, c, edge)
+		if next < delta {
+			break
+		}
+	}
+	lambda := maxInt(lam, b*p)
+	if lambda > delta {
+		lambda = delta
+	}
+	return NewPlan(delta, c, b, p, lambda, edge)
+}
+
+func ceilPow(x int, e float64) int {
+	if x <= 1 {
+		return 1
+	}
+	v := math.Pow(float64(x), e)
+	n := int(v)
+	if float64(n) < v {
+		n++
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

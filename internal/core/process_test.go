@@ -1,0 +1,138 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+func TestLegalColorProcessMatchesLegalColoring(t *testing.T) {
+	g := graph.PowerOfCycle(120, 4)
+	pl, err := AutoPlan(g.MaxDegree(), 2, 1, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo, err := LegalColorProcess(g.N(), g.MaxDegree(), pl, StartAux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaProcess, err := dist.Run(g, algo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := LegalColoring(g, pl, StartAux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range direct.Outputs {
+		if viaProcess.Outputs[v] != direct.Outputs[v] {
+			t.Fatalf("vertex %d: process %d vs direct %d", v,
+				viaProcess.Outputs[v], direct.Outputs[v])
+		}
+	}
+	// LegalRounds predicts the lockstep round count exactly.
+	rounds, err := LegalRounds(g.N(), g.MaxDegree(), pl, StartAux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Stats.Rounds != rounds {
+		t.Fatalf("measured rounds %d != LegalRounds %d", direct.Stats.Rounds, rounds)
+	}
+}
+
+func TestLegalColorProcessValidation(t *testing.T) {
+	plE, err := NewPlan(32, 2, 4, 8, 32, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LegalColorProcess(100, 10, plE, StartIDs); err == nil {
+		t.Error("edge-mode plan accepted")
+	}
+	plV, err := NewPlan(8, 2, 1, 4, 8, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LegalColorProcess(100, 20, plV, StartIDs); err == nil {
+		t.Error("degree above plan Δ accepted")
+	}
+	if _, err := LegalRounds(100, 10, plV, Mode(99)); err == nil {
+		t.Error("unknown mode accepted")
+	}
+}
+
+func TestEdgeLevelBounds(t *testing.T) {
+	lamNext, phiDef := EdgeLevelBounds(64, 4, 8)
+	if phiDef != 4*((64+31)/32) {
+		t.Fatalf("phiDef = %d, want 4⌈Λ/(bp)⌉ = %d", phiDef, 4*((64+31)/32))
+	}
+	if want := (phiDef+64/8)*2 + 2; lamNext != want {
+		t.Fatalf("Λ' = %d, want %d", lamNext, want)
+	}
+}
+
+func TestPlanString(t *testing.T) {
+	pl, err := NewPlan(64, 2, 4, 8, 64, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := pl.String()
+	for _, want := range []string{"b=4", "p=8", "edge=true", "Δ=64"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestLinearColorsPlanRejectsBadEps(t *testing.T) {
+	if _, err := LinearColorsPlan(100, 2, 0, false); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := LinearColorsPlan(100, 2, 4, false); err == nil {
+		t.Error("eps=4 accepted")
+	}
+}
+
+func TestRandomizedColoringLargeDeltaPath(t *testing.T) {
+	// Force the split path: Δ must exceed the class-degree bound κ·ln n.
+	// n = 220, ln n ≈ 5.4; with kappa=2 the bound is ~11, so Δ ≈ 36 splits.
+	g := graph.GNM(55, 660, 21).LineGraph()
+	if g.MaxDegree() < 20 {
+		t.Skip("instance too sparse to exercise the split path")
+	}
+	res, err := RandomizedColoring(g, 2, 2, 5, 2, dist.WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.CheckVertexColoring(g, res.Outputs); err != nil {
+		t.Fatal(err)
+	}
+	bound, err := RandomizedPaletteBound(g, 2, 2, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc := graph.MaxColor(res.Outputs); mc > bound {
+		t.Fatalf("color %d outside bound %d", mc, bound)
+	}
+}
+
+func TestAutoPlanEdgeVsVertexLevels(t *testing.T) {
+	// The edge variant's ϕ-defect (4⌈Λ/(bp)⌉) makes its levels shrink more
+	// slowly than the vertex variant's (⌊Λ/(bp)⌋) for identical parameters.
+	plV, err := AutoPlan(500, 2, 4, 12, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plE, err := AutoPlan(500, 2, 4, 12, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plV.Levels) < 2 || len(plE.Levels) < 2 {
+		t.Fatal("expected real recursion in both plans")
+	}
+	if plE.Levels[1] < plV.Levels[1] {
+		t.Fatalf("edge level %d shrank faster than vertex level %d",
+			plE.Levels[1], plV.Levels[1])
+	}
+}

@@ -1,0 +1,298 @@
+package defective
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/graph"
+	"repro/internal/linial"
+)
+
+func TestScheduleRespectsBudget(t *testing.T) {
+	for _, tc := range []struct{ k0, deg, budget int }{
+		{1000, 16, 4},
+		{100000, 64, 32},
+		{1 << 20, 100, 50},
+		{500, 20, 10},
+		{1 << 16, 8, 8},
+	} {
+		steps := Schedule(tc.k0, tc.deg, tc.budget)
+		total := 0
+		k := tc.k0
+		for i, s := range steps {
+			if s.K != k {
+				t.Fatalf("case %v: step %d palette chain broken", tc, i)
+			}
+			if s.NewPalette() >= k {
+				t.Fatalf("case %v: step %d does not shrink", tc, i)
+			}
+			total += s.Budget
+			k = s.NewPalette()
+		}
+		if total > tc.budget {
+			t.Errorf("case %v: total budget %d exceeds %d", tc, total, tc.budget)
+		}
+	}
+}
+
+func TestGuaranteePaletteIsQuadraticInP(t *testing.T) {
+	// Lemma 2.1(3) shape: palette O(p²) for defect ⌊Δ/p⌋, i.e. the product
+	// defect·sqrt(palette) stays O(Δ·const).
+	delta := 240
+	for _, p := range []int{2, 4, 8, 16, 60} {
+		palette, defect, rounds := Guarantee(1<<20, delta, delta/p)
+		if defect > delta/p {
+			t.Errorf("p=%d: defect %d exceeds ⌊Δ/p⌋=%d", p, defect, delta/p)
+		}
+		// Palette should be O(p²) with a moderate constant (see DESIGN N5).
+		if palette > 2000*p*p {
+			t.Errorf("p=%d: palette %d is not O(p²)", p, palette)
+		}
+		if rounds > 12 {
+			t.Errorf("p=%d: %d rounds is not log*-like", p, rounds)
+		}
+	}
+}
+
+func TestVertexColoringEndToEnd(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+		p    int
+	}{
+		{"gnm-p4", graph.GNM(150, 900, 1), 4},
+		{"gnm-p2", graph.GNM(150, 900, 2), 2},
+		{"regular-p3", graph.RandomRegular(60, 12, 3), 3},
+		{"clique-p5", graph.Complete(30), 5},
+		{"cycle-p2", graph.Cycle(64), 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			delta := tc.g.MaxDegree()
+			res, err := VertexColoring(tc.g, tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			palette, defectBound, rounds := Guarantee(tc.g.N(), delta, delta/tc.p)
+			if err := graph.CheckDefectiveVertexColoring(tc.g, res.Outputs, defectBound, palette); err != nil {
+				t.Fatal(err)
+			}
+			if res.Stats.Rounds != rounds {
+				t.Fatalf("rounds = %d, want %d", res.Stats.Rounds, rounds)
+			}
+			if got := graph.VertexDefect(tc.g, res.Outputs); got > delta/tc.p {
+				t.Fatalf("measured defect %d exceeds ⌊Δ/p⌋ = %d", got, delta/tc.p)
+			}
+		})
+	}
+}
+
+func TestVertexColoringRejectsBadP(t *testing.T) {
+	g := graph.Cycle(10)
+	if _, err := VertexColoring(g, 0); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := VertexColoring(g, 3); err == nil {
+		t.Error("p>Δ accepted")
+	}
+}
+
+func TestFromColoringTheorem47(t *testing.T) {
+	// Start from a legal (0-defective) O(Δ²)-coloring and reduce to a
+	// d-defective O((Δ/d)²)-coloring; the chain should be short (log* M).
+	g := graph.GNM(200, 2000, 7)
+	delta := g.MaxDegree()
+	base, err := linial.OSquaredColoring(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := graph.MaxColor(base.Outputs)
+	d := delta / 4
+	steps, err := FromColoring(m, delta, 0, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(steps) > 8 {
+		t.Fatalf("chain from M=%d has %d steps, want log*-like", m, len(steps))
+	}
+	// Apply centrally.
+	colors := append([]int(nil), base.Outputs...)
+	for _, s := range steps {
+		next := make([]int, g.N())
+		for v := 0; v < g.N(); v++ {
+			var nbrs []int
+			for _, u := range g.Neighbors(v) {
+				nbrs = append(nbrs, colors[u])
+			}
+			next[v] = s.Apply(colors[v], nbrs)
+		}
+		colors = next
+	}
+	if got := graph.VertexDefect(g, colors); got > d {
+		t.Fatalf("defect %d exceeds d=%d", got, d)
+	}
+	palette := linial.FinalPalette(m, steps)
+	if mc := graph.MaxColor(colors); mc > palette {
+		t.Fatalf("color %d outside promised palette %d", mc, palette)
+	}
+}
+
+func TestFromColoringWithCarriedDefect(t *testing.T) {
+	// Theorem 4.7 with d' > 0: start from a d'-defective coloring produced
+	// by one chain, then refine with the remaining budget; total defect must
+	// stay within d.
+	g := graph.GNM(300, 3000, 17)
+	delta := g.MaxDegree()
+	d := delta / 3
+	dPrime := delta / 6
+	// Stage 1: a d'-defective coloring.
+	stage1 := Schedule(g.N(), delta, dPrime)
+	colors := make([]int, g.N())
+	for v := range colors {
+		colors[v] = g.ID(v)
+	}
+	apply := func(steps []linial.Step) {
+		for _, s := range steps {
+			next := make([]int, g.N())
+			for v := 0; v < g.N(); v++ {
+				var nbrs []int
+				for _, u := range g.Neighbors(v) {
+					nbrs = append(nbrs, colors[u])
+				}
+				next[v] = s.Apply(colors[v], nbrs)
+			}
+			colors = next
+		}
+	}
+	apply(stage1)
+	m := linial.FinalPalette(g.N(), stage1)
+	defect1 := graph.VertexDefect(g, colors)
+	if defect1 > dPrime {
+		t.Fatalf("stage 1 defect %d exceeds d'=%d", defect1, dPrime)
+	}
+	// Stage 2: refine from the M-coloring with the remaining budget.
+	stage2, err := FromColoring(m, delta, dPrime, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	apply(stage2)
+	if got := graph.VertexDefect(g, colors); got > d {
+		t.Fatalf("total defect %d exceeds d=%d", got, d)
+	}
+	if mc := graph.MaxColor(colors); mc > linial.FinalPalette(m, stage2) {
+		t.Fatalf("palette %d outside promise", mc)
+	}
+}
+
+func TestFromColoringRejectsInvertedDefects(t *testing.T) {
+	if _, err := FromColoring(100, 10, 5, 3); err == nil {
+		t.Error("d' > d accepted")
+	}
+}
+
+func TestDefectivePropertyRandomGraphs(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 20 + rng.Intn(60)
+		m := rng.Intn(n * 3)
+		g := graph.GNM(n, m, seed)
+		delta := g.MaxDegree()
+		if delta < 2 {
+			return true
+		}
+		p := 1 + rng.Intn(delta)
+		res, err := VertexColoring(g, p)
+		if err != nil {
+			return false
+		}
+		return graph.VertexDefect(g, res.Outputs) <= delta/p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// ----- Corollary 5.4 tests -----
+
+func TestEdgeColoringO1Rounds(t *testing.T) {
+	g := graph.GNM(100, 600, 5)
+	delta := g.MaxDegree()
+	for _, pPrime := range []int{2, 3, 5, delta} {
+		res, err := EdgeColoring(g, pPrime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.Rounds != 1 {
+			t.Fatalf("p'=%d: rounds = %d, want 1 (O(1))", pPrime, res.Stats.Rounds)
+		}
+		colors, err := graph.MergePortColors(g, res.Outputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := 4 * ((delta + pPrime - 1) / pPrime)
+		if err := graph.CheckDefectiveEdgeColoring(g, colors, bound, pPrime*pPrime); err != nil {
+			t.Fatalf("p'=%d: %v", pPrime, err)
+		}
+	}
+}
+
+func TestEdgeColoringDefectBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(50)
+		m := rng.Intn(n * 2)
+		g := graph.GNM(n, m, seed)
+		if g.M() == 0 {
+			return true
+		}
+		delta := g.MaxDegree()
+		pPrime := 1 + rng.Intn(delta)
+		res, err := EdgeColoring(g, pPrime)
+		if err != nil {
+			return false
+		}
+		colors, err := graph.MergePortColors(g, res.Outputs)
+		if err != nil {
+			return false
+		}
+		bound := 4 * ((delta + pPrime - 1) / pPrime)
+		return graph.EdgeDefect(g, colors) <= bound &&
+			graph.MaxColor(colors) <= pPrime*pPrime
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEdgeColoringRejectsBadP(t *testing.T) {
+	if _, err := EdgeColoring(graph.Cycle(5), 0); err == nil {
+		t.Error("p'=0 accepted")
+	}
+}
+
+func TestLargePEdgeColoringIsLegal(t *testing.T) {
+	// With p' = Δ the bound is 4⌈Δ/Δ⌉ = 4; with p' >= 2Δ-1... not claimed.
+	// But a sanity check: bigger p' should give smaller measured defect.
+	g := graph.GNM(80, 400, 9)
+	delta := g.MaxDegree()
+	prev := 1 << 30
+	for _, pPrime := range []int{2, delta / 2, delta} {
+		if pPrime < 1 {
+			continue
+		}
+		res, err := EdgeColoring(g, pPrime)
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors, err := graph.MergePortColors(g, res.Outputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := graph.EdgeDefect(g, colors)
+		if d > prev {
+			t.Fatalf("defect grew from %d to %d as p' increased to %d", prev, d, pPrime)
+		}
+		prev = d
+	}
+}

@@ -1,0 +1,88 @@
+package edgecolor
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+)
+
+// BenchmarkDefectiveEdgeModes is the §5 message-regime ablation on the
+// standalone edge Defective-Color: Wide pays O(p log Δ)-bit messages for a
+// (bp)² window; Short keeps O(log n) bits and multiplies the window by p+1.
+func BenchmarkDefectiveEdgeModes(b *testing.B) {
+	g := graph.TargetDegreeGNM(256, 48, 1)
+	for _, tc := range []struct {
+		name string
+		mode MsgMode
+	}{{"wide", Wide}, {"short", Short}} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := DefectiveEdgeColoring(g, 1, 12, tc.mode)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(res.Stats.Rounds), "rounds")
+					b.ReportMetric(float64(res.Stats.MaxMessageBytes), "maxMsgB")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkWindowVsP shows the (bp)² ψ-window dependence of the edge
+// Defective-Color step, the dominant term of the per-level cost.
+func BenchmarkWindowVsP(b *testing.B) {
+	g := graph.TargetDegreeGNM(256, 48, 2)
+	for _, p := range []int{4, 8, 12} {
+		p := p
+		b.Run(fmt.Sprintf("p=%d", p), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := DefectiveEdgeColoring(g, 1, p, Wide)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(res.Stats.Rounds), "rounds")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkRecursionDepth contrasts a leaf-only plan (pure Panconesi–Rizzi)
+// against a deep plan on the same graph: the recursion buys palette
+// structure at the cost of ψ-windows.
+func BenchmarkRecursionDepth(b *testing.B) {
+	g := graph.TargetDegreeGNM(256, 48, 3)
+	delta := g.MaxDegree()
+	plans := map[string]*core.Plan{}
+	if pl, err := core.NewPlan(delta, 2, 1, 12, delta, true); err == nil {
+		plans["leaf-only"] = pl
+	}
+	if pl, err := core.AutoPlan(delta, 2, 1, 12, true); err == nil && pl.Depth() > 0 {
+		plans["recursive"] = pl
+	}
+	for name, pl := range plans {
+		pl := pl
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := LegalEdgeColoring(g, pl, Wide)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					colors, err := graph.MergePortColors(g, res.Outputs)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.ReportMetric(float64(res.Stats.Rounds), "rounds")
+					b.ReportMetric(float64(graph.CountColors(colors)), "colors")
+					b.ReportMetric(float64(pl.Depth()), "depth")
+				}
+			}
+		})
+	}
+}

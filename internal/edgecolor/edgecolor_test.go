@@ -1,0 +1,325 @@
+package edgecolor
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+func mergedColors(t *testing.T, g *graph.Graph, res *dist.Result[[]int]) []int {
+	t.Helper()
+	colors, err := graph.MergePortColors(g, res.Outputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return colors
+}
+
+func TestDefectiveEdgeColoringBounds(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+		b, p int
+	}{
+		{"gnm-b2p4", graph.GNM(80, 640, 1), 2, 4},
+		{"gnm-b1p8", graph.GNM(80, 640, 2), 1, 8},
+		{"regular-b2p3", graph.RandomRegular(48, 12, 3), 2, 3},
+		{"clique-b1p4", graph.Complete(24), 1, 4},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.g
+			delta := g.MaxDegree()
+			res, err := DefectiveEdgeColoring(g, tc.b, tc.p, Wide)
+			if err != nil {
+				t.Fatal(err)
+			}
+			colors := mergedColors(t, g, res)
+			bound := DefectiveEdgeBound(delta, tc.b, tc.p)
+			if err := graph.CheckDefectiveEdgeColoring(g, colors, bound, tc.p); err != nil {
+				t.Fatal(err)
+			}
+			// Round cost: labeling + ψ window = 1 + (bp)².
+			pp := tc.b * tc.p
+			if res.Stats.Rounds > 1+pp*pp {
+				t.Fatalf("rounds = %d exceed 1+(bp)² = %d", res.Stats.Rounds, 1+pp*pp)
+			}
+		})
+	}
+}
+
+func TestDefectiveEdgeShortModeMatchesWide(t *testing.T) {
+	g := graph.GNM(50, 300, 7)
+	resW, err := DefectiveEdgeColoring(g, 2, 3, Wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resS, err := DefectiveEdgeColoring(g, 2, 3, Short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cw := mergedColors(t, g, resW)
+	cs := mergedColors(t, g, resS)
+	for id := range cw {
+		if cw[id] != cs[id] {
+			t.Fatalf("edge %d: wide %d vs short %d", id, cw[id], cs[id])
+		}
+	}
+	// Short mode trades rounds for message size.
+	if resS.Stats.Rounds <= resW.Stats.Rounds {
+		t.Fatalf("short mode rounds %d not larger than wide %d", resS.Stats.Rounds, resW.Stats.Rounds)
+	}
+	if resS.Stats.MaxMessageBytes > resW.Stats.MaxMessageBytes {
+		t.Fatalf("short mode max message %dB exceeds wide %dB",
+			resS.Stats.MaxMessageBytes, resW.Stats.MaxMessageBytes)
+	}
+}
+
+func TestDefectiveEdgeValidation(t *testing.T) {
+	g := graph.Cycle(10)
+	if _, err := DefectiveEdgeColoring(g, 0, 2, Wide); err == nil {
+		t.Error("b=0 accepted")
+	}
+	if _, err := DefectiveEdgeColoring(g, 3, 3, Wide); err == nil {
+		t.Error("b·p>Δ accepted")
+	}
+}
+
+func edgePlans(t *testing.T, delta int) map[string]*core.Plan {
+	t.Helper()
+	plans := map[string]*core.Plan{}
+	if pl, err := core.AutoPlan(delta, 2, 4, 4, true); err == nil {
+		plans["b4p4"] = pl
+	}
+	if pl, err := core.AutoPlan(delta, 2, 2, 8, true); err == nil {
+		plans["b2p8"] = pl
+	}
+	if pl, err := core.LinearColorsPlan(delta, 2, 1.2, true); err == nil {
+		plans["linear"] = pl
+	}
+	if len(plans) == 0 {
+		t.Fatalf("no valid plans for Δ=%d", delta)
+	}
+	return plans
+}
+
+func TestLegalEdgeColoringEndToEnd(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"gnm-dense":  graph.GNM(64, 640, 4),
+		"gnm-sparse": graph.GNM(128, 256, 5),
+		"regular":    graph.RandomRegular(48, 16, 6),
+		"tree":       graph.RandomTree(128, 7),
+		"clique":     graph.Complete(16),
+		"bipartite":  graph.CompleteBipartite(10, 14),
+	}
+	for gname, g := range graphs {
+		for pname, pl := range edgePlans(t, g.MaxDegree()) {
+			t.Run(gname+"/"+pname, func(t *testing.T) {
+				res, err := LegalEdgeColoring(g, pl, Wide)
+				if err != nil {
+					t.Fatal(err)
+				}
+				colors := mergedColors(t, g, res)
+				if err := graph.CheckEdgeColoring(g, colors); err != nil {
+					t.Fatal(err)
+				}
+				if mc := graph.MaxColor(colors); mc > pl.TotalPalette() {
+					t.Fatalf("color %d outside promised palette %d", mc, pl.TotalPalette())
+				}
+				if want := Rounds(g.N(), pl, Wide); res.Stats.Rounds > want {
+					t.Fatalf("rounds = %d exceed bound %d", res.Stats.Rounds, want)
+				}
+			})
+		}
+	}
+}
+
+func TestLegalEdgeColoringShortMessages(t *testing.T) {
+	// Theorem 5.5: the short-message variant keeps messages O(log n).
+	g := graph.GNM(60, 480, 8)
+	pl, err := core.AutoPlan(g.MaxDegree(), 2, 4, 4, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := LegalEdgeColoring(g, pl, Short)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors := mergedColors(t, g, res)
+	if err := graph.CheckEdgeColoring(g, colors); err != nil {
+		t.Fatal(err)
+	}
+	// Short mode: every message carries O(1) varint values (no p-vectors),
+	// except P-R used-set reports bounded by the small leaf degree.
+	if res.Stats.MaxMessageBytes > 4*pl.LeafBound()+8 {
+		t.Fatalf("short-mode max message %dB too large", res.Stats.MaxMessageBytes)
+	}
+}
+
+func TestLegalEdgeColoringRejectsVertexPlan(t *testing.T) {
+	g := graph.Cycle(10)
+	pl, err := core.AutoPlan(16, 2, 2, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LegalEdgeColoring(g, pl, Wide); err == nil {
+		t.Error("vertex-mode plan accepted")
+	}
+	plSmall, err := core.AutoPlan(1, 2, 1, 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LegalEdgeColoring(graph.Complete(8), plSmall, Wide); err == nil {
+		t.Error("undersized plan accepted")
+	}
+}
+
+func TestLegalEdgeColoringProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(40)
+		m := rng.Intn(3*n + 1)
+		g := graph.GNM(n, m, seed)
+		if g.M() == 0 {
+			return true
+		}
+		pl, err := core.AutoPlan(g.MaxDegree(), 2, 2, 4, true)
+		if err != nil {
+			return false
+		}
+		res, err := LegalEdgeColoring(g, pl, Wide)
+		if err != nil {
+			return false
+		}
+		colors, err := graph.MergePortColors(g, res.Outputs)
+		if err != nil {
+			return false
+		}
+		return graph.CheckEdgeColoring(g, colors) == nil &&
+			graph.MaxColor(colors) <= pl.TotalPalette()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOnLineGraphLemma52(t *testing.T) {
+	g := graph.GNM(40, 200, 9)
+	sim, err := OnLineGraph(g, func(v dist.Process) int {
+		// Trivial 1-round protocol: max of own and neighbor ids.
+		in := v.Broadcast([]byte{1})
+		_ = in
+		return v.ID()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sim.EdgeColors) != g.M() {
+		t.Fatalf("got %d edge outputs for %d edges", len(sim.EdgeColors), g.M())
+	}
+	if sim.SimulatedRounds != 2*sim.Native.Rounds+1 {
+		t.Fatalf("simulated rounds %d != 2T+1", sim.SimulatedRounds)
+	}
+	if sim.SimulatedMaxMessageBytes != g.MaxDegree()*sim.Native.MaxMessageBytes {
+		t.Fatal("simulated message bound not ×Δ")
+	}
+}
+
+func TestViaLineGraphSimulationTheorem53(t *testing.T) {
+	g := graph.GNM(48, 240, 10)
+	lg := g.LineGraph()
+	pl, err := core.AutoPlan(lg.MaxDegree(), 2, 2, 5, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := ViaLineGraphSimulation(g, pl, core.StartAux)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.CheckEdgeColoring(g, sim.EdgeColors); err != nil {
+		t.Fatal(err)
+	}
+	if mc := graph.MaxColor(sim.EdgeColors); mc > pl.TotalPalette() {
+		t.Fatalf("palette %d exceeds bound %d", mc, pl.TotalPalette())
+	}
+	// Edge-mode plan must be rejected.
+	plE, err := core.AutoPlan(lg.MaxDegree(), 2, 2, 5, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ViaLineGraphSimulation(g, plE, core.StartAux); err == nil {
+		t.Error("edge-mode plan accepted by simulation path")
+	}
+}
+
+func TestRandomizedEdgeColoringCor62(t *testing.T) {
+	g := graph.GNM(96, 1400, 11) // Δ well above ln n
+	res, err := RandomizedEdgeColoring(g, 4, 4, 8, Wide, dist.WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors := mergedColors(t, g, res)
+	if err := graph.CheckEdgeColoring(g, colors); err != nil {
+		t.Fatal(err)
+	}
+	bound, err := RandomizedPaletteBound(g, 4, 4, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc := graph.MaxColor(colors); mc > bound {
+		t.Fatalf("color %d outside palette bound %d", mc, bound)
+	}
+}
+
+func TestRandomizedEdgeColoringSmallDelta(t *testing.T) {
+	g := graph.Cycle(64) // Δ=2 <= ln n: deterministic fallback
+	res, err := RandomizedEdgeColoring(g, 1, 2, 8, Wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colors := mergedColors(t, g, res)
+	if err := graph.CheckEdgeColoring(g, colors); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTradeoffEdgeColoringCor63(t *testing.T) {
+	g := graph.GNM(64, 960, 12)
+	delta := g.MaxDegree()
+	prevRounds := 0
+	for _, classDeg := range []int{delta, delta / 2, delta / 4} {
+		if classDeg < 8 {
+			continue
+		}
+		res, err := TradeoffEdgeColoring(g, 2, 4, classDeg, Wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors := mergedColors(t, g, res)
+		if err := graph.CheckEdgeColoring(g, colors); err != nil {
+			t.Fatalf("classDeg=%d: %v", classDeg, err)
+		}
+		bound, err := TradeoffPaletteBound(g, 2, 4, classDeg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mc := graph.MaxColor(colors); mc > bound {
+			t.Fatalf("classDeg=%d: color %d outside bound %d", classDeg, mc, bound)
+		}
+		_ = prevRounds
+		prevRounds = res.Stats.Rounds
+	}
+}
+
+func TestTradeoffEdgeValidation(t *testing.T) {
+	g := graph.Complete(12)
+	if _, err := TradeoffEdgeColoring(g, 2, 4, 2, Wide); err == nil {
+		t.Error("classDeg<4 accepted")
+	}
+	if _, err := TradeoffEdgeColoring(g, 2, 4, 100, Wide); err == nil {
+		t.Error("classDeg>Δ accepted")
+	}
+}

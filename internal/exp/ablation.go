@@ -1,0 +1,143 @@
+package exp
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/defective"
+	"repro/internal/dist"
+	"repro/internal/edgecolor"
+	"repro/internal/graph"
+	"repro/internal/linial"
+	"repro/internal/panconesi"
+	"repro/internal/reduce"
+)
+
+func init() {
+	register("ablation", "design-choice ablations: N1 leaf reduction, §5 message modes, multi-class leaf, event-driven window", runAblation)
+}
+
+// runAblation measures the cost of each design decision DESIGN.md calls out.
+func runAblation(w io.Writer) error {
+	if err := ablateLeafReduction(w); err != nil {
+		return err
+	}
+	if err := ablateMessageModes(w); err != nil {
+		return err
+	}
+	if err := ablateMultiClass(w); err != nil {
+		return err
+	}
+	return ablateWindow(w)
+}
+
+// ablateLeafReduction: substitution N1 — Kuhn–Wattenhofer block merging vs
+// naive one-class-per-round at the Legal-Color leaf.
+func ablateLeafReduction(w io.Writer) error {
+	g := graph.RandomRegular(128, 16, 7)
+	delta := g.MaxDegree()
+	steps := linial.LegalSchedule(g.N(), delta)
+	k := linial.FinalPalette(g.N(), steps)
+	t := Table{
+		Title:  "Ablation A1 (N1): leaf palette reduction O(Δ²) -> Δ+1",
+		Header: []string{"reducer", "rounds", "palette", "legal"},
+	}
+	for _, kw := range []bool{true, false} {
+		res, err := dist.Run(g, func(v dist.Process) int {
+			c := linial.RunChain(steps, v.ID(), linial.BroadcastExchange(v))
+			if kw {
+				return reduce.KWReduceColors(v, c, k, delta+1, nil)
+			}
+			return reduce.ReduceColors(v, c, k, delta+1, nil)
+		})
+		if err != nil {
+			return err
+		}
+		name := "naive class-per-round"
+		if kw {
+			name = "KW block merging [20]"
+		}
+		legal := "ok"
+		if err := graph.CheckVertexColoring(g, res.Outputs); err != nil {
+			legal = "ILLEGAL"
+		}
+		t.Add(name, res.Stats.Rounds, graph.MaxColor(res.Outputs), legal)
+	}
+	t.Render(w)
+	return nil
+}
+
+// ablateMessageModes: §5 wide vs short on the standalone edge Alg 1.
+func ablateMessageModes(w io.Writer) error {
+	g := graph.TargetDegreeGNM(256, 48, 8)
+	t := Table{
+		Title:  "Ablation A2 (§5): ψ-window message modes, b=1 p=12",
+		Header: []string{"mode", "rounds", "maxMsgB", "bytes total"},
+	}
+	for _, tc := range []struct {
+		name string
+		mode edgecolor.MsgMode
+	}{{"wide", edgecolor.Wide}, {"short", edgecolor.Short}} {
+		res, err := edgecolor.DefectiveEdgeColoring(g, 1, 12, tc.mode)
+		if err != nil {
+			return err
+		}
+		t.Add(tc.name, res.Stats.Rounds, res.Stats.MaxMessageBytes, res.Stats.Bytes)
+	}
+	t.Render(w)
+	return nil
+}
+
+// ablateMultiClass: the §5 leaf property — many classes, same rounds.
+func ablateMultiClass(w io.Writer) error {
+	g := graph.RandomRegular(96, 12, 9)
+	degBound := g.MaxDegree()
+	t := Table{
+		Title:  "Ablation A3 (§5 leaf): Panconesi-Rizzi classes in parallel",
+		Header: []string{"classes", "rounds"},
+	}
+	for _, classes := range []int{1, 2, 4, 8} {
+		res, err := dist.Run(g, func(v dist.Process) []int {
+			classOf := make([]int, v.Deg())
+			for p := range classOf {
+				classOf[p] = (v.ID()+v.NeighborID(p))%classes + 1
+			}
+			return panconesi.EdgeColorMulti(v, classOf, degBound)
+		})
+		if err != nil {
+			return err
+		}
+		t.Add(classes, res.Stats.Rounds)
+	}
+	t.Render(w)
+	return nil
+}
+
+// ablateWindow: Lemma 3.2 — event-driven Alg 1 finishes before the fixed
+// #ϕ-palette window that the lockstep recursion pays.
+func ablateWindow(w io.Writer) error {
+	g := graph.RandomRegular(128, 12, 10).LineGraph()
+	delta := g.MaxDegree()
+	b, p := 2, 4
+	phiSteps := defective.Schedule(g.N(), delta, delta/(b*p))
+	t := Table{
+		Title:  "Ablation A4 (Lemma 3.2): Algorithm 1 while-loop scheduling",
+		Header: []string{"mode", "rounds", "ϕ-palette window"},
+	}
+	window := linial.FinalPalette(g.N(), phiSteps)
+	for _, fixed := range []bool{true, false} {
+		res, err := dist.Run(g, func(v dist.Process) int {
+			return core.DefectiveColorStep(v, nil, p, phiSteps, v.ID(), g.N(), fixed).Psi
+		})
+		if err != nil {
+			return err
+		}
+		name := "event-driven (standalone)"
+		if fixed {
+			name = "fixed window (lockstep recursion)"
+		}
+		t.Add(name, res.Stats.Rounds, window)
+	}
+	t.Render(w)
+	return nil
+}

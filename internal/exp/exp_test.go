@@ -1,0 +1,76 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRender(t *testing.T) {
+	tab := Table{
+		Title:  "demo",
+		Note:   "a note",
+		Header: []string{"a", "bbbb"},
+	}
+	tab.Add(1, "x")
+	tab.Add(22.5, "yy")
+	var buf bytes.Buffer
+	tab.Render(&buf)
+	out := buf.String()
+	for _, want := range []string{"== demo ==", "a note", "bbbb", "22.50"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2", "fig1", "fig2", "fig3",
+		"defectproduct", "vertexscaling", "msgsize", "cor54",
+		"cor62", "tradeoff", "linegraphsim", "ni", "ablation",
+	}
+	for _, name := range want {
+		if _, ok := Lookup(name); !ok {
+			t.Errorf("experiment %q not registered", name)
+		}
+	}
+	if got := len(All()); got != len(want) {
+		t.Errorf("registry has %d experiments, want %d", got, len(want))
+	}
+	// All() is sorted.
+	all := All()
+	for i := 1; i < len(all); i++ {
+		if all[i-1].Name >= all[i].Name {
+			t.Fatal("All() not sorted")
+		}
+	}
+}
+
+// TestFastExperimentsRun executes the quick experiments end to end; the
+// heavyweight ones (table1, table2, cor62) are exercised by cmd/repro and
+// the benchmarks.
+func TestFastExperimentsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are not short")
+	}
+	for _, name := range []string{"fig1", "fig2", "cor54", "ni", "defectproduct", "ablation"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			e, ok := Lookup(name)
+			if !ok {
+				t.Fatalf("missing %q", name)
+			}
+			var buf bytes.Buffer
+			if err := e.Run(&buf); err != nil {
+				t.Fatal(err)
+			}
+			if !strings.Contains(buf.String(), "==") {
+				t.Fatal("no table rendered")
+			}
+			if strings.Contains(buf.String(), "ILLEGAL") || strings.Contains(buf.String(), "NO") {
+				t.Fatalf("experiment reported a violated bound:\n%s", buf.String())
+			}
+		})
+	}
+}

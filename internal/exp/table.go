@@ -1,0 +1,107 @@
+// Package exp is the experiment harness: it regenerates every table and
+// figure of the paper (Tables 1-2, Figures 1-3) and validates the
+// quantitative theorem-level claims (the experiment index E1-E8 of
+// DESIGN.md). Each experiment renders plain-text tables; cmd/repro runs them
+// from the command line and bench_test.go exposes them as benchmarks.
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is a rendered experiment artifact: a titled text table.
+type Table struct {
+	Title  string
+	Note   string
+	Header []string
+	Rows   [][]string
+}
+
+// Add appends a row; cells are stringified with %v.
+func (t *Table) Add(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) {
+	fmt.Fprintf(w, "== %s ==\n", t.Title)
+	if t.Note != "" {
+		fmt.Fprintf(w, "%s\n", t.Note)
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+	}
+	line(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	fmt.Fprintln(w)
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Experiment is a named, runnable experiment.
+type Experiment struct {
+	Name string
+	Desc string
+	Run  func(w io.Writer) error
+}
+
+var registry = map[string]Experiment{}
+
+func register(name, desc string, run func(w io.Writer) error) {
+	registry[name] = Experiment{Name: name, Desc: desc, Run: run}
+}
+
+// Lookup returns the experiment with the given name.
+func Lookup(name string) (Experiment, bool) {
+	e, ok := registry[name]
+	return e, ok
+}
+
+// All returns every registered experiment, sorted by name.
+func All() []Experiment {
+	out := make([]Experiment, 0, len(registry))
+	for _, e := range registry {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

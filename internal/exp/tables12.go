@@ -1,0 +1,221 @@
+package exp
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/edgecolor"
+	"repro/internal/graph"
+	"repro/internal/panconesi"
+)
+
+func init() {
+	register("table1", "Table 1: deterministic edge-coloring comparison (measured + analytic crossover)", runTable1)
+	register("table2", "Table 2: deterministic vs randomized at small Δ (rounds vs n)", runTable2)
+}
+
+// edgeColorVia runs one edge-coloring algorithm and returns (colors, rounds,
+// maxMsgBytes).
+type edgeRun struct {
+	colors  int
+	rounds  int
+	maxMsg  int
+	legal   bool
+	comment string
+}
+
+func runPR(g *graph.Graph) (edgeRun, error) {
+	res, err := panconesi.EdgeColoring(g)
+	if err != nil {
+		return edgeRun{}, err
+	}
+	colors, err := graph.MergePortColors(g, res.Outputs)
+	if err != nil {
+		return edgeRun{}, err
+	}
+	return edgeRun{
+		colors: graph.CountColors(colors),
+		rounds: res.Stats.Rounds,
+		maxMsg: res.Stats.MaxMessageBytes,
+		legal:  graph.CheckEdgeColoring(g, colors) == nil,
+	}, nil
+}
+
+func runBE(g *graph.Graph, b, p int, mode edgecolor.MsgMode) (edgeRun, error) {
+	pl, err := core.AutoPlan(g.MaxDegree(), 2, b, p, true)
+	if err != nil {
+		return edgeRun{}, err
+	}
+	res, err := edgecolor.LegalEdgeColoring(g, pl, mode)
+	if err != nil {
+		return edgeRun{}, err
+	}
+	colors, err := graph.MergePortColors(g, res.Outputs)
+	if err != nil {
+		return edgeRun{}, err
+	}
+	return edgeRun{
+		colors:  graph.CountColors(colors),
+		rounds:  res.Stats.Rounds,
+		maxMsg:  res.Stats.MaxMessageBytes,
+		legal:   graph.CheckEdgeColoring(g, colors) == nil,
+		comment: fmt.Sprintf("depth=%d", pl.Depth()),
+	}, nil
+}
+
+func runHPartitionOnLineGraph(g *graph.Graph) (edgeRun, error) {
+	lg := g.LineGraph()
+	theta := baseline.DefaultTheta(lg)
+	res, err := baseline.HPartitionColoring(lg, theta)
+	if err != nil {
+		return edgeRun{}, err
+	}
+	// Vertices of L(G) are edges of G.
+	return edgeRun{
+		colors: graph.CountColors(res.Outputs),
+		rounds: 2*res.Stats.Rounds + 1, // Lemma 5.2 simulation accounting
+		maxMsg: g.MaxDegree() * res.Stats.MaxMessageBytes,
+		legal:  graph.CheckEdgeColoring(g, res.Outputs) == nil,
+	}, nil
+}
+
+func runArbOnLineGraph(g *graph.Graph) (edgeRun, error) {
+	lg := g.LineGraph()
+	theta := baseline.DefaultTheta(lg)
+	res, err := baseline.ArbColoring(lg, theta)
+	if err != nil {
+		return edgeRun{}, err
+	}
+	return edgeRun{
+		colors: graph.CountColors(res.Outputs),
+		rounds: 2*res.Stats.Rounds + 1, // Lemma 5.2 simulation accounting
+		maxMsg: g.MaxDegree() * res.Stats.MaxMessageBytes,
+		legal:  graph.CheckEdgeColoring(g, res.Outputs) == nil,
+	}, nil
+}
+
+func fmtRun(r edgeRun) []interface{} {
+	legal := "ok"
+	if !r.legal {
+		legal = "ILLEGAL"
+	}
+	return []interface{}{r.colors, r.rounds, r.maxMsg, legal}
+}
+
+// runTable1 measures every deterministic contender on random graphs across a
+// Δ sweep, then prints the analytic round-bound crossover for large Δ
+// (EXPERIMENTS.md discusses why the measured regime cannot reach the
+// asymptotic crossovers: the paper's constants are galactic).
+func runTable1(w io.Writer) error {
+	const n = 512
+	measured := Table{
+		Title: "Table 1 (measured): deterministic edge coloring, n=512, random graphs",
+		Note: "PR = Panconesi-Rizzi (2Δ-1) [24]; BE = this paper §5 (AutoPlan, wide messages);\n" +
+			"HP/Arb+L(G) = forest-decomposition family [3]/[5] on the line graph via Lemma 5.2 accounting\n" +
+			"(HP: fast, θ²·log n colors; Arb: θ+1 colors, Θ(θ·log n) rounds).",
+		Header: []string{"Δ", "alg", "colors", "rounds", "maxMsgB", "legal"},
+	}
+	for _, delta := range []int{8, 16, 32, 64} {
+		g := graph.TargetDegreeGNM(n, delta, int64(delta))
+		d := g.MaxDegree()
+		pr, err := runPR(g)
+		if err != nil {
+			return err
+		}
+		measured.Add(append([]interface{}{d, "PR(2Δ-1)"}, fmtRun(pr)...)...)
+		be, err := runBE(g, 1, 12, edgecolor.Wide)
+		if err != nil {
+			return err
+		}
+		measured.Add(append([]interface{}{d, "BE(b=1,p=12)"}, fmtRun(be)...)...)
+		if d <= 32 {
+			hp, err := runHPartitionOnLineGraph(g)
+			if err != nil {
+				return err
+			}
+			measured.Add(append([]interface{}{d, "HP+L(G)"}, fmtRun(hp)...)...)
+		}
+		if d <= 16 {
+			arb, err := runArbOnLineGraph(g)
+			if err != nil {
+				return err
+			}
+			measured.Add(append([]interface{}{d, "Arb+L(G)"}, fmtRun(arb)...)...)
+		}
+	}
+	measured.Render(w)
+
+	analytic := Table{
+		Title: "Table 1 (analytic): exact round formulas of the implementations, n=2^20",
+		Note: "Round bounds as implemented: PR = panconesi.Rounds; BE = edgecolor.Rounds(AutoPlan b=4 p=8).\n" +
+			"The crossover Δ* where the paper's O(log Δ) algorithm overtakes O(Δ) is the Table 1 claim.",
+		Header: []string{"Δ", "PR rounds", "BE rounds", "BE colors bound", "winner"},
+	}
+	n20 := 1 << 20
+	for _, delta := range []int{64, 256, 1024, 4096, 16384, 65536} {
+		prRounds := panconesi.Rounds(n20, delta)
+		pl, err := core.AutoPlan(delta, 2, 4, 8, true)
+		if err != nil {
+			return err
+		}
+		beRounds := edgecolor.Rounds(n20, pl, edgecolor.Wide)
+		winner := "PR"
+		if beRounds < prRounds {
+			winner = "BE"
+		}
+		analytic.Add(delta, prRounds, beRounds, pl.TotalPalette(), winner)
+	}
+	analytic.Render(w)
+	return nil
+}
+
+// runTable2 compares the deterministic algorithms against the randomized
+// trial coloring in the small-Δ regime (Δ ≤ log^{1-δ} n): deterministic
+// rounds stay flat as n grows while the randomized baseline pays Θ(log n).
+func runTable2(w io.Writer) error {
+	t := Table{
+		Title: "Table 2: small Δ=8, growing n — deterministic (flat) vs randomized (grows with log n)",
+		Note: "Rand = trial edge coloring (stand-in for [29],[18], see DESIGN N2), median-ish single seed;\n" +
+			"PR and BE are deterministic. Rounds are measured in the simulator.",
+		Header: []string{"n", "Δ", "PR rounds", "BE rounds", "Rand rounds", "PR colors", "BE colors", "Rand colors"},
+	}
+	for _, n := range []int{256, 1024, 4096, 16384, 65536} {
+		g := graph.RandomRegular(n, 8, int64(n))
+		d := g.MaxDegree()
+		pr, err := runPR(g)
+		if err != nil {
+			return err
+		}
+		be, err := runBE(g, 2, 6, edgecolor.Wide)
+		if err != nil {
+			return err
+		}
+		// Randomized rounds are noisy; report the median of three seeds.
+		var randRounds []int
+		randColors := 0
+		for seed := int64(7); seed < 10; seed++ {
+			res, err := baseline.RandomizedTrialEdgeColoring(g, dist.WithSeed(seed))
+			if err != nil {
+				return err
+			}
+			colors, err := graph.MergePortColors(g, res.Outputs)
+			if err != nil {
+				return err
+			}
+			if err := graph.CheckEdgeColoring(g, colors); err != nil {
+				return err
+			}
+			randRounds = append(randRounds, res.Stats.Rounds)
+			randColors = graph.CountColors(colors)
+		}
+		sort.Ints(randRounds)
+		t.Add(n, d, pr.rounds, be.rounds, randRounds[1],
+			pr.colors, be.colors, randColors)
+	}
+	t.Render(w)
+	return nil
+}

@@ -1,0 +1,257 @@
+// Package forest implements rooted-forest machinery used by the
+// Panconesi–Rizzi (2Δ−1)-edge-coloring [24]: decomposition of an
+// ID-oriented graph into edge-disjoint rooted forests, and the
+// Cole–Vishkin-style deterministic 3-coloring of all forests in parallel in
+// O(log* n) rounds (bit reduction to 6 colors, then shift-down to 3).
+//
+// All routines here are per-vertex subroutines meant to be called from
+// inside a dist vertex function; many logical forests share each physical
+// edge-disjointly, so running them in parallel costs no extra rounds.
+// Per-vertex state is proportional to the vertex degree, not to the global
+// number of forests (which the §5 recursion makes as large as p^r·Λ).
+package forest
+
+import (
+	"math/bits"
+	"sort"
+
+	"repro/internal/dist"
+	"repro/internal/wire"
+)
+
+// NoForest marks a port that belongs to no forest.
+const NoForest = 0
+
+// Membership describes, for one vertex, how its ports map onto the forests
+// it belongs to. Forests carry global integer ids (agreed by both endpoints
+// of every edge); a vertex's parent in forest f is reached through its
+// unique out-port labeled f, and its children are the in-ports labeled f.
+type Membership struct {
+	Forests    []int // sorted global ids of forests present at this vertex
+	PortLabel  []int // per port: forest id, or NoForest
+	parentPort map[int]int
+}
+
+// ParentPortOf returns the port leading to this vertex's parent in forest
+// fid, or -1 if the vertex is a root of (or absent from) that forest.
+func (m *Membership) ParentPortOf(fid int) int {
+	if p, ok := m.parentPort[fid]; ok {
+		return p
+	}
+	return -1
+}
+
+// InForest reports whether the vertex has any edge in forest fid.
+func (m *Membership) InForest(fid int) bool {
+	i := sort.SearchInts(m.Forests, fid)
+	return i < len(m.Forests) && m.Forests[i] == fid
+}
+
+// AssignLabels runs the one-round forest decomposition: every vertex labels
+// its out-edges (ports whose neighbor has a smaller identifier, restricted
+// to active ports) with distinct labels 1..outdeg, sends each label across
+// its edge, and learns the labels of its in-edges. The result partitions the
+// active edges into at most degBound rooted forests (ids 1..degBound): each
+// vertex has at most one out-edge per label, and following out-edges
+// strictly decreases identifiers, so every label class is a forest rooted at
+// local ID minima.
+//
+// active may be nil (all ports active). Costs exactly one round.
+func AssignLabels(v dist.Process, active []bool, degBound int) Membership {
+	classOf := make([]int, v.Deg())
+	for port := range classOf {
+		if active == nil || active[port] {
+			classOf[port] = 1
+		}
+	}
+	return AssignLabelsClasses(v, classOf, degBound)
+}
+
+// AssignLabelsClasses is the multi-class generalization used by the edge
+// variant of Procedure Legal-Color (§5): ports are partitioned into
+// edge-disjoint classes (classOf[port] >= 1, 0 = inactive), each class
+// having degree at most degBound at every vertex. Each class is decomposed
+// into degBound forests exactly as AssignLabels does, with the forest of
+// class c and within-class label ℓ getting the global id (c−1)·degBound+ℓ.
+// All classes share the single labeling round; both endpoints of an edge
+// agree on its class, so they agree on its forest id.
+func AssignLabelsClasses(v dist.Process, classOf []int, degBound int) Membership {
+	deg := v.Deg()
+	m := Membership{
+		PortLabel:  make([]int, deg),
+		parentPort: make(map[int]int, deg),
+	}
+	out := make([][]byte, deg)
+	nextInClass := make(map[int]int, 4)
+	for port := 0; port < deg; port++ {
+		c := classOf[port]
+		if c == 0 {
+			continue
+		}
+		if v.NeighborID(port) < v.ID() { // out-edge: neighbor is the parent
+			nextInClass[c]++
+			if nextInClass[c] > degBound {
+				panic("forest: class out-degree exceeds degBound")
+			}
+			fid := (c-1)*degBound + nextInClass[c]
+			m.PortLabel[port] = fid
+			m.parentPort[fid] = port
+			out[port] = wire.EncodeInts(fid)
+		}
+	}
+	in := v.Round(out)
+	for port := 0; port < deg; port++ {
+		if classOf[port] == 0 {
+			continue
+		}
+		if v.NeighborID(port) > v.ID() { // in-edge: the child told us its label
+			vals, err := wire.DecodeInts(in[port], 1)
+			if err != nil {
+				panic("forest: bad label message: " + err.Error())
+			}
+			m.PortLabel[port] = vals[0]
+		}
+	}
+	seen := make(map[int]bool, deg)
+	for _, fid := range m.PortLabel {
+		if fid != NoForest && !seen[fid] {
+			seen[fid] = true
+			m.Forests = append(m.Forests, fid)
+		}
+	}
+	sort.Ints(m.Forests)
+	return m
+}
+
+// CVRounds returns the number of bit-reduction rounds of the Cole–Vishkin
+// phase for identifier space {1..n}; every vertex computes the same value
+// locally so all forests stay in lockstep.
+func CVRounds(n int) int {
+	rounds := 0
+	k := n
+	for k > 6 {
+		k = nextPalette(k)
+		rounds++
+	}
+	return rounds
+}
+
+// nextPalette maps palette size k to 2*ceil(log2 k), the palette after one
+// bit-reduction round.
+func nextPalette(k int) int {
+	return 2 * ceilLog2(k)
+}
+
+func ceilLog2(k int) int {
+	if k <= 1 {
+		return 1
+	}
+	return bits.Len(uint(k - 1))
+}
+
+// ShiftDownIterations is the number of (shift-down, recolor) iterations that
+// reduce 6 colors to 3.
+const ShiftDownIterations = 3
+
+// TotalRounds returns the full round cost of ThreeColor for n identifiers:
+// the bit-reduction phase plus two rounds per shift-down iteration.
+func TotalRounds(n int) int { return CVRounds(n) + 2*ShiftDownIterations }
+
+// ThreeColor 3-colors the vertices of every forest simultaneously: the
+// returned map holds, per forest id present at this vertex, its color in
+// {1,2,3}. Costs exactly TotalRounds(v.N()) rounds for every vertex
+// (lockstep), independent of the forests' shapes and count.
+func ThreeColor(v dist.Process, m Membership) map[int]int {
+	colors := make(map[int]int, len(m.Forests)) // 0-based during reduction
+	for _, fid := range m.Forests {
+		colors[fid] = v.ID() - 1
+	}
+	// Phase 1: bit reduction. Every vertex sends, on every forest port, its
+	// current color in that forest; children combine with the parent color.
+	for r := 0; r < CVRounds(v.N()); r++ {
+		all := exchangeAllColors(v, m, colors)
+		for _, fid := range m.Forests {
+			if p := m.ParentPortOf(fid); p >= 0 {
+				colors[fid] = cvStep(colors[fid], all[p])
+			} else {
+				colors[fid] = colors[fid] & 1 // root: (index 0, own bit 0)
+			}
+		}
+	}
+	// Normalize to 1..6.
+	for _, fid := range m.Forests {
+		colors[fid]++
+	}
+	// Phase 2: three (shift-down, recolor) iterations remove colors 6, 5, 4.
+	for x := 6; x >= 4; x-- {
+		// Shift-down: every non-root adopts its parent's color; roots pick a
+		// color in {1,2} different from their own, keeping siblings
+		// monochromatic and the coloring proper.
+		all := exchangeAllColors(v, m, colors)
+		for _, fid := range m.Forests {
+			if p := m.ParentPortOf(fid); p >= 0 {
+				colors[fid] = all[p]
+			} else if colors[fid] == 1 {
+				colors[fid] = 2
+			} else {
+				colors[fid] = 1
+			}
+		}
+		// Recolor class x: its members form an independent set in each
+		// forest; each picks the smallest color in {1,2,3} unused by its
+		// parent and (shared) child color.
+		all = exchangeAllColors(v, m, colors)
+		for _, fid := range m.Forests {
+			if colors[fid] != x {
+				continue
+			}
+			used := [4]bool{}
+			for port, lab := range m.PortLabel {
+				if lab == fid && all[port] >= 1 && all[port] <= 3 {
+					used[all[port]] = true
+				}
+			}
+			for c := 1; c <= 3; c++ {
+				if !used[c] {
+					colors[fid] = c
+					break
+				}
+			}
+		}
+	}
+	return colors
+}
+
+// cvStep computes the Cole–Vishkin bit-reduction color: the index of the
+// lowest bit where own and parent differ, paired with own's bit there.
+func cvStep(own, parent int) int {
+	diff := own ^ parent
+	i := bits.TrailingZeros(uint(diff))
+	return 2*i + (own>>i)&1
+}
+
+// exchangeAllColors sends, on every forest port, this vertex's color in that
+// port's forest, and returns the neighbor's color per port (-1 where absent).
+func exchangeAllColors(v dist.Process, m Membership, colors map[int]int) []int {
+	deg := v.Deg()
+	out := make([][]byte, deg)
+	for port, fid := range m.PortLabel {
+		if fid != NoForest {
+			out[port] = wire.EncodeInts(colors[fid])
+		}
+	}
+	in := v.Round(out)
+	res := make([]int, deg)
+	for port := range res {
+		res[port] = -1
+		if m.PortLabel[port] == NoForest || in[port] == nil {
+			continue
+		}
+		vals, err := wire.DecodeInts(in[port], 1)
+		if err != nil {
+			panic("forest: bad color message: " + err.Error())
+		}
+		res[port] = vals[0]
+	}
+	return res
+}

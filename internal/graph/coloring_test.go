@@ -1,0 +1,158 @@
+package graph
+
+import "testing"
+
+func TestCheckVertexColoring(t *testing.T) {
+	g := Cycle(4)
+	if err := CheckVertexColoring(g, []int{1, 2, 1, 2}); err != nil {
+		t.Fatalf("legal 2-coloring rejected: %v", err)
+	}
+	if err := CheckVertexColoring(g, []int{1, 1, 2, 2}); err == nil {
+		t.Error("monochromatic edge accepted")
+	}
+	if err := CheckVertexColoring(g, []int{1, 2, 1}); err == nil {
+		t.Error("short color slice accepted")
+	}
+	if err := CheckVertexColoring(g, []int{0, 2, 1, 2}); err == nil {
+		t.Error("color 0 accepted")
+	}
+}
+
+func TestVertexDefect(t *testing.T) {
+	g := Complete(4)
+	if d := VertexDefect(g, []int{1, 1, 1, 1}); d != 3 {
+		t.Fatalf("defect of monochromatic K4 = %d, want 3", d)
+	}
+	if d := VertexDefect(g, []int{1, 2, 3, 4}); d != 0 {
+		t.Fatalf("defect of rainbow K4 = %d, want 0", d)
+	}
+	if d := VertexDefect(g, []int{1, 1, 2, 2}); d != 1 {
+		t.Fatalf("defect = %d, want 1", d)
+	}
+}
+
+func TestCheckDefectiveVertexColoring(t *testing.T) {
+	g := Complete(4)
+	if err := CheckDefectiveVertexColoring(g, []int{1, 1, 2, 2}, 1, 2); err != nil {
+		t.Fatalf("valid 1-defective 2-coloring rejected: %v", err)
+	}
+	if err := CheckDefectiveVertexColoring(g, []int{1, 1, 2, 2}, 0, 2); err == nil {
+		t.Error("defect bound violation accepted")
+	}
+	if err := CheckDefectiveVertexColoring(g, []int{1, 1, 3, 2}, 1, 2); err == nil {
+		t.Error("palette violation accepted")
+	}
+}
+
+func TestCheckEdgeColoring(t *testing.T) {
+	g := Path(4) // edges: (0,1)=0, (1,2)=1, (2,3)=2
+	if err := CheckEdgeColoring(g, []int{1, 2, 1}); err != nil {
+		t.Fatalf("legal edge coloring rejected: %v", err)
+	}
+	if err := CheckEdgeColoring(g, []int{1, 1, 2}); err == nil {
+		t.Error("incident same-color edges accepted")
+	}
+	if err := CheckEdgeColoring(g, []int{1, 2}); err == nil {
+		t.Error("short slice accepted")
+	}
+}
+
+func TestEdgeDefect(t *testing.T) {
+	g := Star(4) // 3 edges all incident at center
+	if d := EdgeDefect(g, []int{1, 1, 1}); d != 2 {
+		t.Fatalf("defect = %d, want 2", d)
+	}
+	if d := EdgeDefect(g, []int{1, 2, 3}); d != 0 {
+		t.Fatalf("defect = %d, want 0", d)
+	}
+	if err := CheckDefectiveEdgeColoring(g, []int{1, 1, 2}, 1, 2); err != nil {
+		t.Fatalf("valid defective edge coloring rejected: %v", err)
+	}
+	if err := CheckDefectiveEdgeColoring(g, []int{1, 1, 1}, 1, 2); err == nil {
+		t.Error("edge-defect violation accepted")
+	}
+}
+
+func TestCountAndMaxColors(t *testing.T) {
+	colors := []int{5, 1, 5, 2}
+	if CountColors(colors) != 3 {
+		t.Fatalf("CountColors = %d, want 3", CountColors(colors))
+	}
+	if MaxColor(colors) != 5 {
+		t.Fatalf("MaxColor = %d, want 5", MaxColor(colors))
+	}
+	if MaxColor(nil) != 0 {
+		t.Fatal("MaxColor(nil) should be 0")
+	}
+}
+
+func TestMergePortColors(t *testing.T) {
+	g := Path(3) // edges (0,1) and (1,2)
+	good := [][]int{{1}, {1, 2}, {2}}
+	colors, err := MergePortColors(g, good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if colors[0] != 1 || colors[1] != 2 {
+		t.Fatalf("colors = %v", colors)
+	}
+	bad := [][]int{{1}, {2, 1}, {1}}
+	if _, err := MergePortColors(g, bad); err == nil {
+		t.Fatal("endpoint disagreement not detected")
+	}
+	short := [][]int{{1}, {1}, {2}}
+	if _, err := MergePortColors(g, short); err == nil {
+		t.Fatal("short port slice not detected")
+	}
+}
+
+func TestOrientationByIDs(t *testing.T) {
+	g := GNM(40, 120, 13)
+	o := OrientByIDs(g)
+	if !o.IsAcyclic() {
+		t.Fatal("ID orientation must be acyclic")
+	}
+	for id := range g.Edges() {
+		e := g.EdgeAt(id)
+		head := o.Head(id)
+		tail := o.Tail(id)
+		if head == tail {
+			t.Fatal("degenerate orientation")
+		}
+		if g.ID(head) > g.ID(tail) {
+			t.Fatalf("edge %v oriented toward larger id", e)
+		}
+	}
+	// Out-degree sums to m.
+	total := 0
+	for v := 0; v < g.N(); v++ {
+		total += o.OutDegree(v)
+	}
+	if total != g.M() {
+		t.Fatalf("sum of out-degrees %d != m %d", total, g.M())
+	}
+	if o.MaxOutDegree() > g.MaxDegree() {
+		t.Fatal("out-degree exceeds degree")
+	}
+}
+
+func TestLongestDirectedPath(t *testing.T) {
+	g := Path(5)
+	o := OrientByIDs(g) // ids 1..5 along the path: all edges point "left"
+	if got := o.LongestDirectedPath(); got != 4 {
+		t.Fatalf("longest path = %d, want 4", got)
+	}
+}
+
+func TestOutEdges(t *testing.T) {
+	g := Path(3) // ids 1,2,3
+	o := OrientByIDs(g)
+	// vertex 1 (id 2) has out-edge to vertex 0 (id 1) only.
+	outs := o.OutEdges(1)
+	if len(outs) != 1 {
+		t.Fatalf("vertex 1 out-edges = %v, want exactly 1", outs)
+	}
+	if o.Head(outs[0]) != 0 {
+		t.Fatalf("out-edge head = %d, want 0", o.Head(outs[0]))
+	}
+}

@@ -1,0 +1,48 @@
+package graph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := Path(3)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, []int{1, 2, 1}, []int{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"graph G {", "0 -- 1", "1 -- 2", "c1", "c2", "}"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	// Plain rendering without colorings.
+	sb.Reset()
+	if err := WriteDOT(&sb, g, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "fillcolor") {
+		t.Fatal("plain DOT should not carry colors")
+	}
+}
+
+func TestWriteDOTValidatesLengths(t *testing.T) {
+	g := Path(3)
+	var sb strings.Builder
+	if err := WriteDOT(&sb, g, []int{1}, nil); err == nil {
+		t.Error("short vertex colors accepted")
+	}
+	if err := WriteDOT(&sb, g, nil, []int{1, 2, 3}); err == nil {
+		t.Error("long edge colors accepted")
+	}
+}
+
+func TestWheelDistinct(t *testing.T) {
+	if wheel(0) != "gray" {
+		t.Fatal("non-positive colors should be gray")
+	}
+	if wheel(1) == wheel(2) {
+		t.Fatal("adjacent color indices share a hue")
+	}
+}

@@ -1,0 +1,398 @@
+package graph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Path returns the path graph P_n (n-1 edges).
+func Path(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		mustAdd(b, v, v+1)
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph C_n (n >= 3).
+func Cycle(n int) *Graph {
+	if n < 3 {
+		panic("graph: cycle needs n >= 3")
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		mustAdd(b, v, (v+1)%n)
+	}
+	return b.Build()
+}
+
+// Complete returns the complete graph K_n.
+func Complete(n int) *Graph {
+	b := NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			mustAdd(b, u, v)
+		}
+	}
+	return b.Build()
+}
+
+// CompleteBipartite returns K_{a,b}. The first a vertices form one side.
+func CompleteBipartite(a, b int) *Graph {
+	bl := NewBuilder(a + b)
+	for u := 0; u < a; u++ {
+		for v := 0; v < b; v++ {
+			mustAdd(bl, u, a+v)
+		}
+	}
+	return bl.Build()
+}
+
+// Star returns the star K_{1,n-1} with center 0.
+func Star(n int) *Graph {
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		mustAdd(b, 0, v)
+	}
+	return b.Build()
+}
+
+// GNM returns a uniform random simple graph with n vertices and m distinct
+// edges, deterministic in seed.
+func GNM(n, m int, seed int64) *Graph {
+	maxM := n * (n - 1) / 2
+	if m > maxM {
+		panic(fmt.Sprintf("graph: GNM m=%d exceeds max %d", m, maxM))
+	}
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for b.NumEdges() < m {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u != v {
+			b.TryAddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// RandomBoundedDegree returns a random simple graph on n vertices where every
+// vertex degree is at most maxDeg, targeting m edges (it may stop short if
+// the degree budget is exhausted). Deterministic in seed.
+func RandomBoundedDegree(n, maxDeg, m int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	deg := make([]int, n)
+	failures := 0
+	for b.NumEdges() < m && failures < 50*m+1000 {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if u == v || deg[u] >= maxDeg || deg[v] >= maxDeg || !b.TryAddEdge(u, v) {
+			failures++
+			continue
+		}
+		deg[u]++
+		deg[v]++
+	}
+	return b.Build()
+}
+
+// RandomRegular returns a random d-regular graph on n vertices via the
+// configuration model with restarts (n*d must be even, d < n).
+// Deterministic in seed.
+func RandomRegular(n, d int, seed int64) *Graph {
+	if n*d%2 != 0 {
+		panic("graph: RandomRegular requires n*d even")
+	}
+	if d >= n {
+		panic("graph: RandomRegular requires d < n")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	for attempt := 0; ; attempt++ {
+		if g, ok := tryConfigurationModel(n, d, rng); ok {
+			return g
+		}
+		if attempt > 200 {
+			panic(fmt.Sprintf("graph: RandomRegular(n=%d,d=%d) failed after retries", n, d))
+		}
+	}
+}
+
+// tryConfigurationModel pairs degree stubs after a shuffle; when the next
+// stub pair would form a loop or duplicate edge it retries against random
+// unpaired stubs, restarting the whole attempt only if a position wedges.
+func tryConfigurationModel(n, d int, rng *rand.Rand) (*Graph, bool) {
+	stubs := make([]int, 0, n*d)
+	for v := 0; v < n; v++ {
+		for i := 0; i < d; i++ {
+			stubs = append(stubs, v)
+		}
+	}
+	rng.Shuffle(len(stubs), func(i, j int) { stubs[i], stubs[j] = stubs[j], stubs[i] })
+	b := NewBuilder(n)
+	for i := 0; i < len(stubs); i += 2 {
+		placed := false
+		for tries := 0; tries < 300; tries++ {
+			j := i + 1
+			if tries > 0 {
+				j = i + 1 + rng.Intn(len(stubs)-i-1)
+			}
+			u, v := stubs[i], stubs[j]
+			if u != v && !b.HasEdge(u, v) {
+				stubs[i+1], stubs[j] = stubs[j], stubs[i+1]
+				mustAdd(b, u, v)
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			return nil, false
+		}
+	}
+	return b.Build(), true
+}
+
+// Geometric returns a random geometric graph: n points uniform in the unit
+// square, vertices adjacent iff within Euclidean distance radius. This family
+// has bounded growth (§1.2 of the paper). Deterministic in seed.
+func Geometric(n int, radius float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i] = rng.Float64()
+		ys[i] = rng.Float64()
+	}
+	// Grid bucketing keeps generation near-linear for small radii.
+	cell := radius
+	if cell <= 0 {
+		panic("graph: Geometric radius must be positive")
+	}
+	buckets := make(map[[2]int][]int)
+	key := func(i int) [2]int {
+		return [2]int{int(xs[i] / cell), int(ys[i] / cell)}
+	}
+	for i := 0; i < n; i++ {
+		k := key(i)
+		buckets[k] = append(buckets[k], i)
+	}
+	b := NewBuilder(n)
+	r2 := radius * radius
+	for i := 0; i < n; i++ {
+		k := key(i)
+		for dx := -1; dx <= 1; dx++ {
+			for dy := -1; dy <= 1; dy++ {
+				for _, j := range buckets[[2]int{k[0] + dx, k[1] + dy}] {
+					if j <= i {
+						continue
+					}
+					ddx, ddy := xs[i]-xs[j], ys[i]-ys[j]
+					if ddx*ddx+ddy*ddy <= r2 {
+						b.TryAddEdge(i, j)
+					}
+				}
+			}
+		}
+	}
+	return b.Build()
+}
+
+// CliquePlusPendants returns the Figure-1 graph of the paper: a k-clique in
+// which every clique vertex additionally has one private pendant neighbor.
+// It has n = 2k vertices, I(G) = 2, and every clique vertex has k = Ω(Δ)
+// independent vertices at distance 2, so the family is not of bounded growth.
+// Clique vertices are 0..k-1; pendant of clique vertex i is k+i.
+func CliquePlusPendants(k int) *Graph {
+	if k < 2 {
+		panic("graph: CliquePlusPendants needs k >= 2")
+	}
+	b := NewBuilder(2 * k)
+	for u := 0; u < k; u++ {
+		for v := u + 1; v < k; v++ {
+			mustAdd(b, u, v)
+		}
+		mustAdd(b, u, k+u)
+	}
+	return b.Build()
+}
+
+// PowerOfCycle returns C_n^k: vertices on a cycle, adjacent iff cyclic
+// distance <= k. Its neighborhood independence is 2 for n > 3k, making it a
+// bounded-NI family that is not a line graph in general.
+func PowerOfCycle(n, k int) *Graph {
+	if n < 2*k+2 {
+		panic("graph: PowerOfCycle requires n >= 2k+2")
+	}
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for d := 1; d <= k; d++ {
+			b.TryAddEdge(v, (v+d)%n)
+		}
+	}
+	return b.Build()
+}
+
+// Grid returns the w×h grid graph (Δ ≤ 4, bounded growth). Vertex (x,y) has
+// index y*w+x.
+func Grid(w, h int) *Graph {
+	b := NewBuilder(w * h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := y*w + x
+			if x+1 < w {
+				mustAdd(b, v, v+1)
+			}
+			if y+1 < h {
+				mustAdd(b, v, v+w)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Torus returns the w×h toroidal grid (4-regular for w,h >= 3): the grid
+// with wrap-around edges, a vertex-transitive bounded-growth family.
+func Torus(w, h int) *Graph {
+	if w < 3 || h < 3 {
+		panic("graph: Torus needs w,h >= 3")
+	}
+	b := NewBuilder(w * h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := y*w + x
+			mustAdd(b, v, y*w+(x+1)%w)
+			mustAdd(b, v, ((y+1)%h)*w+x)
+		}
+	}
+	return b.Build()
+}
+
+// Hypercube returns the d-dimensional hypercube Q_d: n = 2^d vertices,
+// Δ = d = log₂ n — exactly the Δ ≈ log n boundary regime of Table 2.
+func Hypercube(d int) *Graph {
+	if d < 1 || d > 20 {
+		panic("graph: Hypercube dimension out of range [1,20]")
+	}
+	n := 1 << d
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < d; bit++ {
+			u := v ^ (1 << bit)
+			if u > v {
+				mustAdd(b, v, u)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// RandomTree returns a uniformly random labeled tree on n vertices via a
+// random Prüfer-like attachment (each vertex v >= 1 attaches to a uniform
+// earlier vertex). Deterministic in seed.
+func RandomTree(n int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder(n)
+	for v := 1; v < n; v++ {
+		mustAdd(b, v, rng.Intn(v))
+	}
+	return b.Build()
+}
+
+// Hypergraph is an r-hypergraph: each hyperedge contains at most r vertices.
+type Hypergraph struct {
+	N     int     // number of vertices
+	Edges [][]int // hyperedges; each sorted, size >= 2, <= R
+	R     int     // rank bound r
+}
+
+// RandomHypergraph returns a random r-hypergraph with m hyperedges, each on
+// between 2 and r distinct random vertices, with duplicate hyperedges
+// allowed to collapse (so it may have fewer than m). Deterministic in seed.
+func RandomHypergraph(n, m, r int, seed int64) *Hypergraph {
+	if r < 2 {
+		panic("graph: hypergraph rank must be >= 2")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[string]struct{}, m)
+	h := &Hypergraph{N: n, R: r}
+	for len(h.Edges) < m {
+		size := 2 + rng.Intn(r-1)
+		set := make(map[int]struct{}, size)
+		for len(set) < size {
+			set[rng.Intn(n)] = struct{}{}
+		}
+		edge := make([]int, 0, size)
+		for v := range set {
+			edge = append(edge, v)
+		}
+		sortInts(edge)
+		k := fmt.Sprint(edge)
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		h.Edges = append(h.Edges, edge)
+	}
+	return h
+}
+
+// LineGraph returns L(H): one vertex per hyperedge, two adjacent iff the
+// hyperedges intersect. For an r-hypergraph, I(L(H)) <= r (§1.2).
+func (h *Hypergraph) LineGraph() *Graph {
+	b := NewBuilder(len(h.Edges))
+	// Bucket hyperedges by vertex; all pairs within a bucket are adjacent.
+	byVertex := make([][]int, h.N)
+	for i, e := range h.Edges {
+		for _, v := range e {
+			byVertex[v] = append(byVertex[v], i)
+		}
+	}
+	for _, bucket := range byVertex {
+		for i := 0; i < len(bucket); i++ {
+			for j := i + 1; j < len(bucket); j++ {
+				b.TryAddEdge(bucket[i], bucket[j])
+			}
+		}
+	}
+	return b.Build()
+}
+
+// ShuffledIDs returns a copy of g with identifiers permuted uniformly at
+// random (deterministic in seed). Useful for probing ID-dependence.
+func ShuffledIDs(g *Graph, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	c := g.Clone()
+	ids := make([]int, g.N())
+	for i := range ids {
+		ids[i] = i + 1
+	}
+	rng.Shuffle(len(ids), func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	if err := c.SetIDs(ids); err != nil {
+		panic("graph: internal error shuffling ids: " + err.Error())
+	}
+	return c
+}
+
+// TargetDegreeGNM returns a random graph on n vertices whose maximum degree
+// is close to (and at most) targetDelta: it draws edges uniformly, rejecting
+// those that would exceed the target, aiming for average degree ~ 0.75 *
+// targetDelta so that the max is typically attained. Deterministic in seed.
+func TargetDegreeGNM(n, targetDelta int, seed int64) *Graph {
+	m := int(math.Min(float64(n*targetDelta)*0.75/2, float64(n*(n-1)/2)))
+	return RandomBoundedDegree(n, targetDelta, m, seed)
+}
+
+func mustAdd(b *Builder, u, v int) {
+	if err := b.AddEdge(u, v); err != nil {
+		panic("graph: generator bug: " + err.Error())
+	}
+}
+
+func sortInts(a []int) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

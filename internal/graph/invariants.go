@@ -1,0 +1,248 @@
+package graph
+
+// This file computes the neighborhood-independence invariant I(G)
+// (Definition 3.1 of the paper) and related structural measures. These are
+// centralized *verification* utilities: the distributed algorithms never call
+// them — they receive the bound c as a parameter, exactly as the paper
+// assumes ("all vertices know the value of c before the computation starts").
+
+import "math/bits"
+
+// NeighborhoodIndependence returns I(G) = max_v I(v), where I(v) is the size
+// of a maximum independent subset of Γ(v). It is exact; the computation is a
+// per-vertex maximum-independent-set search (branch and bound with degree
+// pivoting), exponential in the worst case but fast for the neighborhood
+// sizes exercised in this repository.
+func NeighborhoodIndependence(g *Graph) int {
+	best := 0
+	for v := 0; v < g.N(); v++ {
+		iv := VertexNeighborhoodIndependence(g, v)
+		if iv > best {
+			best = iv
+		}
+	}
+	return best
+}
+
+// VertexNeighborhoodIndependence returns I(v): the maximum independent set
+// size within Γ(v).
+func VertexNeighborhoodIndependence(g *Graph, v int) int {
+	nbrs := g.Neighbors(v)
+	k := len(nbrs)
+	if k <= 1 {
+		return k
+	}
+	// Local adjacency among the neighbors, as bitsets of neighbor ranks.
+	idx := make(map[int32]int, k)
+	for i, u := range nbrs {
+		idx[u] = i
+	}
+	adj := make([]bitset, k)
+	for i := range adj {
+		adj[i] = newBitset(k)
+	}
+	for i, u := range nbrs {
+		for _, w := range g.Neighbors(int(u)) {
+			if j, ok := idx[w]; ok {
+				adj[i].set(j)
+			}
+		}
+	}
+	cand := newBitset(k)
+	for i := 0; i < k; i++ {
+		cand.set(i)
+	}
+	best := 0
+	misBranch(adj, cand, 0, &best)
+	return best
+}
+
+// misBranch is a classic MIS branch-and-bound: pick the candidate vertex of
+// maximum degree within the candidate set; either exclude it (recurse on
+// cand \ {p}) or include it (recurse on cand \ N[p]).
+func misBranch(adj []bitset, cand bitset, size int, best *int) {
+	cnt := cand.count()
+	if size+cnt <= *best {
+		return
+	}
+	if cnt == 0 {
+		if size > *best {
+			*best = size
+		}
+		return
+	}
+	// Choose pivot = candidate with most candidate-neighbors.
+	pivot, pivotDeg := -1, -1
+	for i := cand.next(0); i >= 0; i = cand.next(i + 1) {
+		d := cand.intersectCount(adj[i])
+		if d > pivotDeg {
+			pivot, pivotDeg = i, d
+		}
+	}
+	if pivotDeg == 0 {
+		// Candidates are pairwise non-adjacent: take them all.
+		if size+cnt > *best {
+			*best = size + cnt
+		}
+		return
+	}
+	// Branch 1: include pivot.
+	with := cand.clone()
+	with.clear(pivot)
+	with.andNot(adj[pivot])
+	misBranch(adj, with, size+1, best)
+	// Branch 2: exclude pivot.
+	without := cand.clone()
+	without.clear(pivot)
+	misBranch(adj, without, size, best)
+}
+
+// GreedyIndependentSetIn returns a maximal (not maximum) independent subset
+// of the given vertex set, built greedily by index order. Its size lower-
+// bounds the independence number of the induced subgraph.
+func GreedyIndependentSetIn(g *Graph, verts []int) []int {
+	inSet := make(map[int]bool, len(verts))
+	var out []int
+	for _, v := range verts {
+		ok := true
+		for _, u := range g.Neighbors(v) {
+			if inSet[int(u)] {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			inSet[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// BallVertices returns the set of vertices at distance in [1, r] from v
+// (excluding v itself), by BFS.
+func BallVertices(g *Graph, v, r int) []int {
+	dist := make([]int, g.N())
+	for i := range dist {
+		dist[i] = -1
+	}
+	dist[v] = 0
+	queue := []int{v}
+	var out []int
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if dist[u] >= r {
+			continue
+		}
+		for _, w := range g.Neighbors(u) {
+			if dist[w] < 0 {
+				dist[w] = dist[u] + 1
+				out = append(out, int(w))
+				queue = append(queue, int(w))
+			}
+		}
+	}
+	return out
+}
+
+// GrowthAt returns a lower bound on the number of pairwise-independent
+// vertices within distance r of v (the growth function f(r) at v from §1.2),
+// via a greedy independent set over the ball.
+func GrowthAt(g *Graph, v, r int) int {
+	return len(GreedyIndependentSetIn(g, BallVertices(g, v, r)))
+}
+
+// Arboricity returns the Nash-Williams arboricity lower bound max over the
+// whole graph ⌈m/(n-1)⌉ and a greedy-orientation upper bound; it is used by
+// the [5]-stand-in baseline's reporting only.
+func ArboricityBounds(g *Graph) (lower, upper int) {
+	if g.N() >= 2 {
+		lower = (g.M() + g.N() - 2) / (g.N() - 1)
+	}
+	// Upper bound: repeatedly strip minimum-degree vertices; the max degree
+	// seen at strip time bounds 2a (degeneracy d satisfies a <= d <= 2a-1).
+	deg := g.Degrees()
+	removed := make([]bool, g.N())
+	degeneracy := 0
+	for iter := 0; iter < g.N(); iter++ {
+		min, at := 1<<30, -1
+		for v := 0; v < g.N(); v++ {
+			if !removed[v] && deg[v] < min {
+				min, at = deg[v], v
+			}
+		}
+		if at < 0 {
+			break
+		}
+		if min > degeneracy {
+			degeneracy = min
+		}
+		removed[at] = true
+		for _, u := range g.Neighbors(at) {
+			if !removed[u] {
+				deg[u]--
+			}
+		}
+	}
+	upper = degeneracy
+	if upper < lower {
+		upper = lower
+	}
+	return lower, upper
+}
+
+// bitset is a small dense bitset sized at construction.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int)   { b[i/64] |= 1 << (uint(i) % 64) }
+func (b bitset) clear(i int) { b[i/64] &^= 1 << (uint(i) % 64) }
+
+func (b bitset) get(i int) bool { return b[i/64]&(1<<(uint(i)%64)) != 0 }
+
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+func (b bitset) andNot(o bitset) {
+	for i := range b {
+		b[i] &^= o[i]
+	}
+}
+
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+func (b bitset) intersectCount(o bitset) int {
+	n := 0
+	for i := range b {
+		n += bits.OnesCount64(b[i] & o[i])
+	}
+	return n
+}
+
+// next returns the index of the first set bit at or after i, or -1.
+func (b bitset) next(i int) int {
+	if i >= len(b)*64 {
+		return -1
+	}
+	w := i / 64
+	if rem := b[w] >> (uint(i) % 64); rem != 0 {
+		return i + bits.TrailingZeros64(rem)
+	}
+	for w++; w < len(b); w++ {
+		if b[w] != 0 {
+			return w*64 + bits.TrailingZeros64(b[w])
+		}
+	}
+	return -1
+}

@@ -1,0 +1,170 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNeighborhoodIndependenceKnownValues(t *testing.T) {
+	tests := []struct {
+		name string
+		g    *Graph
+		want int
+	}{
+		{"K5", Complete(5), 1},  // neighborhoods are cliques
+		{"C6", Cycle(6), 2},     // two neighbors, non-adjacent
+		{"P4", Path(4), 2},      // middle vertices have 2 indep nbrs
+		{"Star(5)", Star(5), 4}, // center sees 4 independent leaves
+		{"K2,3", CompleteBipartite(2, 3), 3},
+		{"Fig1(k=6)", CliquePlusPendants(6), 2}, // the paper's Figure 1
+		{"C10^2", PowerOfCycle(10, 2), 2},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := NeighborhoodIndependence(tt.g); got != tt.want {
+				t.Fatalf("I(G) = %d, want %d", got, tt.want)
+			}
+		})
+	}
+}
+
+func TestLineGraphNIAtMostTwo(t *testing.T) {
+	// Lemma 5.1: I(L(G)) <= 2 for every graph G.
+	for seed := int64(0); seed < 8; seed++ {
+		g := GNM(25, 60, seed)
+		lg := g.LineGraph()
+		if lg.N() == 0 {
+			continue
+		}
+		if got := NeighborhoodIndependence(lg); got > 2 {
+			t.Fatalf("seed %d: I(L(G)) = %d > 2", seed, got)
+		}
+	}
+}
+
+func TestLineGraphNIProperty(t *testing.T) {
+	// Property form of Lemma 5.1 over random graphs drawn by testing/quick.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(20)
+		m := rng.Intn(n * (n - 1) / 2)
+		lg := GNM(n, m, seed).LineGraph()
+		if lg.N() == 0 {
+			return true
+		}
+		return NeighborhoodIndependence(lg) <= 2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInducedSubgraphNIMonotone(t *testing.T) {
+	// Lemma 3.6: vertex-induced subgraphs cannot increase neighborhood
+	// independence.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(16)
+		g := GNM(n, rng.Intn(n*2+1), seed)
+		keep := make([]bool, n)
+		for i := range keep {
+			keep[i] = rng.Intn(2) == 0
+		}
+		sub, _ := g.InducedSubgraph(keep)
+		if sub.N() == 0 {
+			return true
+		}
+		return NeighborhoodIndependence(sub) <= NeighborhoodIndependence(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVertexNeighborhoodIndependenceEdgeCases(t *testing.T) {
+	g := Path(2)
+	if got := VertexNeighborhoodIndependence(g, 0); got != 1 {
+		t.Fatalf("degree-1 vertex: I(v) = %d, want 1", got)
+	}
+	single := NewBuilder(1).Build()
+	if got := VertexNeighborhoodIndependence(single, 0); got != 0 {
+		t.Fatalf("isolated vertex: I(v) = %d, want 0", got)
+	}
+}
+
+func TestFig1GrowthUnbounded(t *testing.T) {
+	// Figure 1 claim: every clique vertex v has at least k = Ω(Δ) independent
+	// vertices within distance 2 (the pendants), while I(G) = 2.
+	k := 12
+	g := CliquePlusPendants(k)
+	if got := NeighborhoodIndependence(g); got != 2 {
+		t.Fatalf("I(G) = %d, want 2", got)
+	}
+	if got := GrowthAt(g, 0, 2); got < k-1 {
+		t.Fatalf("growth at clique vertex = %d, want >= %d", got, k-1)
+	}
+}
+
+func TestBallVertices(t *testing.T) {
+	g := Path(7) // 0-1-2-3-4-5-6
+	ball := BallVertices(g, 3, 2)
+	want := map[int]bool{1: true, 2: true, 4: true, 5: true}
+	if len(ball) != len(want) {
+		t.Fatalf("ball = %v, want keys %v", ball, want)
+	}
+	for _, v := range ball {
+		if !want[v] {
+			t.Fatalf("unexpected ball vertex %d", v)
+		}
+	}
+}
+
+func TestGreedyIndependentSet(t *testing.T) {
+	g := Complete(6)
+	all := []int{0, 1, 2, 3, 4, 5}
+	if got := GreedyIndependentSetIn(g, all); len(got) != 1 {
+		t.Fatalf("independent set in K6 has size %d, want 1", len(got))
+	}
+	e := Path(4)
+	if got := GreedyIndependentSetIn(e, []int{0, 1, 2, 3}); len(got) != 2 {
+		t.Fatalf("greedy IS in P4 = %v, want size 2", got)
+	}
+}
+
+func TestArboricityBounds(t *testing.T) {
+	lo, hi := ArboricityBounds(RandomTree(50, 2))
+	if lo > 1 || hi < 1 {
+		t.Fatalf("tree arboricity bounds [%d,%d] should bracket 1", lo, hi)
+	}
+	lo, hi = ArboricityBounds(Complete(6))
+	// a(K6) = ceil(15/5) = 3.
+	if lo > 3 || hi < 3 {
+		t.Fatalf("K6 arboricity bounds [%d,%d] should bracket 3", lo, hi)
+	}
+}
+
+func TestBitset(t *testing.T) {
+	b := newBitset(130)
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		b.set(i)
+	}
+	if b.count() != 5 {
+		t.Fatalf("count = %d, want 5", b.count())
+	}
+	if b.next(0) != 0 || b.next(1) != 63 || b.next(65) != 127 || b.next(128) != 129 {
+		t.Fatal("next() scan wrong")
+	}
+	if b.next(130) != -1 {
+		t.Fatal("next past end should be -1")
+	}
+	b.clear(63)
+	if b.get(63) || b.count() != 4 {
+		t.Fatal("clear failed")
+	}
+	c := b.clone()
+	c.andNot(b)
+	if c.count() != 0 {
+		t.Fatal("andNot with self should empty the clone")
+	}
+}

@@ -1,0 +1,142 @@
+package graph
+
+// Orientation assigns a direction to every edge of a graph. For edge id e,
+// Toward[e] is the head vertex (the edge points toward it). Orientations are
+// the substrate of Lemma 3.4 (a d-out-degree acyclic orientation yields a
+// (d+1)-coloring) and of the Panconesi–Rizzi forest decomposition.
+type Orientation struct {
+	g      *Graph
+	Toward []int // Toward[edgeID] = head vertex index
+}
+
+// OrientByIDs orients every edge toward the endpoint with the *smaller*
+// identifier. The result is acyclic: following out-edges strictly decreases
+// the identifier. (Out-edges of v are edges oriented away from v, i.e. whose
+// head is the other endpoint.)
+func OrientByIDs(g *Graph) *Orientation {
+	o := &Orientation{g: g, Toward: make([]int, g.M())}
+	for id, e := range g.Edges() {
+		if g.ID(e.U) < g.ID(e.V) {
+			o.Toward[id] = e.U
+		} else {
+			o.Toward[id] = e.V
+		}
+	}
+	return o
+}
+
+// Graph returns the underlying graph.
+func (o *Orientation) Graph() *Graph { return o.g }
+
+// OutEdges returns the edge ids oriented away from v (head != v).
+func (o *Orientation) OutEdges(v int) []int {
+	var out []int
+	for _, id := range o.g.IncidentEdgeIDs(v) {
+		if o.Toward[id] != v {
+			out = append(out, int(id))
+		}
+	}
+	return out
+}
+
+// OutDegree returns the out-degree of v.
+func (o *Orientation) OutDegree(v int) int {
+	d := 0
+	for _, id := range o.g.IncidentEdgeIDs(v) {
+		if o.Toward[id] != v {
+			d++
+		}
+	}
+	return d
+}
+
+// MaxOutDegree returns the out-degree of the orientation (§2).
+func (o *Orientation) MaxOutDegree() int {
+	m := 0
+	for v := 0; v < o.g.N(); v++ {
+		if d := o.OutDegree(v); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Head returns the head of edge id (the vertex it points toward).
+func (o *Orientation) Head(id int) int { return o.Toward[id] }
+
+// Tail returns the tail of edge id.
+func (o *Orientation) Tail(id int) int {
+	e := o.g.EdgeAt(id)
+	if o.Toward[id] == e.U {
+		return e.V
+	}
+	return e.U
+}
+
+// IsAcyclic reports whether the orientation has no directed cycle.
+func (o *Orientation) IsAcyclic() bool {
+	// Kahn's algorithm on the directed graph tail -> head.
+	indeg := make([]int, o.g.N())
+	for id := range o.Toward {
+		indeg[o.Toward[id]]++
+	}
+	queue := make([]int, 0, o.g.N())
+	for v, d := range indeg {
+		if d == 0 {
+			queue = append(queue, v)
+		}
+	}
+	seen := 0
+	for len(queue) > 0 {
+		v := queue[len(queue)-1]
+		queue = queue[:len(queue)-1]
+		seen++
+		for _, id := range o.g.IncidentEdgeIDs(v) {
+			if o.Toward[id] != v && o.Tail(int(id)) == v {
+				h := o.Toward[id]
+				indeg[h]--
+				if indeg[h] == 0 {
+					queue = append(queue, h)
+				}
+			}
+		}
+	}
+	return seen == o.g.N()
+}
+
+// LongestDirectedPath returns the number of edges on the longest directed
+// path (well-defined only for acyclic orientations; panics on cyclic input).
+// It bounds the round complexity of the Lemma-3.4 coloring process.
+func (o *Orientation) LongestDirectedPath() int {
+	if !o.IsAcyclic() {
+		panic("graph: LongestDirectedPath on cyclic orientation")
+	}
+	memo := make([]int, o.g.N())
+	for i := range memo {
+		memo[i] = -1
+	}
+	var depth func(v int) int
+	depth = func(v int) int {
+		if memo[v] >= 0 {
+			return memo[v]
+		}
+		memo[v] = 0 // break self-recursion; acyclicity makes this safe
+		best := 0
+		for _, id := range o.g.IncidentEdgeIDs(v) {
+			if o.Toward[id] != v { // out-edge of v
+				if d := depth(o.Toward[id]) + 1; d > best {
+					best = d
+				}
+			}
+		}
+		memo[v] = best
+		return best
+	}
+	best := 0
+	for v := 0; v < o.g.N(); v++ {
+		if d := depth(v); d > best {
+			best = d
+		}
+	}
+	return best
+}

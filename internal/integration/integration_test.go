@@ -1,0 +1,355 @@
+// Package integration_test runs cross-module, end-to-end validations: every
+// edge-coloring algorithm against every graph family, adversarial identifier
+// assignments, level-by-level invariants of the Legal-Color recursion, and
+// equivalence between the direct §5 variant and the Lemma 5.2 simulation
+// pipeline.
+package integration_test
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/defective"
+	"repro/internal/dist"
+	"repro/internal/edgecolor"
+	"repro/internal/graph"
+	"repro/internal/panconesi"
+)
+
+// families are the shared integration workloads.
+func families() map[string]*graph.Graph {
+	return map[string]*graph.Graph{
+		"gnm":       graph.GNM(72, 432, 1),
+		"sparse":    graph.GNM(120, 180, 2),
+		"regular":   graph.RandomRegular(48, 10, 3),
+		"tree":      graph.RandomTree(100, 4),
+		"clique":    graph.Complete(14),
+		"bipartite": graph.CompleteBipartite(9, 12),
+		"star":      graph.Star(25),
+		"geometric": graph.Geometric(150, 0.12, 5),
+		"fig1":      graph.CliquePlusPendants(12),
+		"shuffled":  graph.ShuffledIDs(graph.GNM(72, 432, 6), 99),
+	}
+}
+
+// edgeAlgorithms enumerates every legal-edge-coloring entry point with its
+// palette promise.
+type edgeAlgorithm struct {
+	name    string
+	run     func(g *graph.Graph) ([]int, int, error) // colors, paletteBound
+	skipFor func(g *graph.Graph) bool
+}
+
+func edgeAlgorithms() []edgeAlgorithm {
+	return []edgeAlgorithm{
+		{
+			name: "panconesi-rizzi",
+			run: func(g *graph.Graph) ([]int, int, error) {
+				res, err := panconesi.EdgeColoring(g)
+				if err != nil {
+					return nil, 0, err
+				}
+				colors, err := graph.MergePortColors(g, res.Outputs)
+				return colors, 2*g.MaxDegree() - 1, err
+			},
+		},
+		{
+			name: "greedy",
+			run: func(g *graph.Graph) ([]int, int, error) {
+				res, err := baseline.GreedyEdgeColoring(g)
+				if err != nil {
+					return nil, 0, err
+				}
+				colors, err := graph.MergePortColors(g, res.Outputs)
+				return colors, 2*g.MaxDegree() - 1, err
+			},
+		},
+		{
+			name: "randomized-trial",
+			run: func(g *graph.Graph) ([]int, int, error) {
+				res, err := baseline.RandomizedTrialEdgeColoring(g, dist.WithSeed(5))
+				if err != nil {
+					return nil, 0, err
+				}
+				colors, err := graph.MergePortColors(g, res.Outputs)
+				return colors, 2*g.MaxDegree() - 1, err
+			},
+		},
+		{
+			name: "be-wide",
+			run: func(g *graph.Graph) ([]int, int, error) {
+				pl, err := core.AutoPlan(g.MaxDegree(), 2, 2, 6, true)
+				if err != nil {
+					return nil, 0, err
+				}
+				res, err := edgecolor.LegalEdgeColoring(g, pl, edgecolor.Wide)
+				if err != nil {
+					return nil, 0, err
+				}
+				colors, err := graph.MergePortColors(g, res.Outputs)
+				return colors, pl.TotalPalette(), err
+			},
+		},
+		{
+			name: "be-short",
+			run: func(g *graph.Graph) ([]int, int, error) {
+				pl, err := core.AutoPlan(g.MaxDegree(), 2, 1, 12, true)
+				if err != nil {
+					return nil, 0, err
+				}
+				res, err := edgecolor.LegalEdgeColoring(g, pl, edgecolor.Short)
+				if err != nil {
+					return nil, 0, err
+				}
+				colors, err := graph.MergePortColors(g, res.Outputs)
+				return colors, pl.TotalPalette(), err
+			},
+		},
+		{
+			name: "be-simulated",
+			run: func(g *graph.Graph) ([]int, int, error) {
+				lg := g.LineGraph()
+				pl, err := core.AutoPlan(maxInt(lg.MaxDegree(), 1), 2, 2, 6, false)
+				if err != nil {
+					return nil, 0, err
+				}
+				sim, err := edgecolor.ViaLineGraphSimulation(g, pl, core.StartAux)
+				if err != nil {
+					return nil, 0, err
+				}
+				return sim.EdgeColors, pl.TotalPalette(), nil
+			},
+			skipFor: func(g *graph.Graph) bool { return g.M() > 500 }, // L(G) too big
+		},
+		{
+			name: "be-true-sim",
+			run: func(g *graph.Graph) ([]int, int, error) {
+				deltaL := 1
+				for _, e := range g.Edges() {
+					if d := g.Deg(e.U) + g.Deg(e.V) - 2; d > deltaL {
+						deltaL = d
+					}
+				}
+				pl, err := core.AutoPlan(deltaL, 2, 2, 6, false)
+				if err != nil {
+					return nil, 0, err
+				}
+				sim, err := edgecolor.TrueSimulation(g, pl, core.StartAux)
+				if err != nil {
+					return nil, 0, err
+				}
+				return sim.EdgeColors, pl.TotalPalette(), nil
+			},
+			skipFor: func(g *graph.Graph) bool { return g.M() > 300 },
+		},
+		{
+			name: "cor62-randomized",
+			run: func(g *graph.Graph) ([]int, int, error) {
+				res, err := edgecolor.RandomizedEdgeColoring(g, 2, 6, 10, edgecolor.Wide, dist.WithSeed(9))
+				if err != nil {
+					return nil, 0, err
+				}
+				colors, err := graph.MergePortColors(g, res.Outputs)
+				if err != nil {
+					return nil, 0, err
+				}
+				bound, err := edgecolor.RandomizedPaletteBound(g, 2, 6, 10)
+				return colors, bound, err
+			},
+		},
+	}
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// TestEdgeColoringMatrix is the full algorithm × family legality matrix.
+func TestEdgeColoringMatrix(t *testing.T) {
+	for fname, g := range families() {
+		if g.M() == 0 {
+			continue
+		}
+		for _, alg := range edgeAlgorithms() {
+			if alg.skipFor != nil && alg.skipFor(g) {
+				continue
+			}
+			t.Run(fmt.Sprintf("%s/%s", alg.name, fname), func(t *testing.T) {
+				colors, bound, err := alg.run(g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := graph.CheckEdgeColoring(g, colors); err != nil {
+					t.Fatal(err)
+				}
+				if mc := graph.MaxColor(colors); mc > bound {
+					t.Fatalf("max color %d exceeds promised palette %d", mc, bound)
+				}
+			})
+		}
+	}
+}
+
+// TestLegalColorLevelInvariants replays the Theorem 3.7 invariant level by
+// level: running the standalone edge Defective-Color and checking that every
+// ψ-class subgraph has degree at most the next level's Λ′.
+func TestLegalColorLevelInvariants(t *testing.T) {
+	g := graph.TargetDegreeGNM(256, 48, 7)
+	delta := g.MaxDegree()
+	b, p := 1, 12
+	res, err := edgecolor.DefectiveEdgeColoring(g, b, p, edgecolor.Wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	psis, err := graph.MergePortColors(g, res.Outputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lamNext, _ := core.EdgeLevelBounds(delta, b, p)
+	// Class degree at a vertex = number of incident edges sharing ψ; the
+	// line-graph degree of the class subgraph is what Λ′ bounds.
+	for id, e := range g.Edges() {
+		same := 0
+		for _, other := range g.IncidentEdgeIDs(e.U) {
+			if int(other) != id && psis[other] == psis[id] {
+				same++
+			}
+		}
+		for _, other := range g.IncidentEdgeIDs(e.V) {
+			if int(other) != id && psis[other] == psis[id] {
+				same++
+			}
+		}
+		if same > lamNext {
+			t.Fatalf("edge %d: class degree %d exceeds Λ' = %d (Thm 3.7/§5)", id, same, lamNext)
+		}
+	}
+}
+
+// TestVertexAlgorithmsOnHypergraphPipeline chains generators and colorers:
+// r-hypergraph -> line graph -> Legal-Color with c=r, for several r.
+func TestVertexAlgorithmsOnHypergraphPipeline(t *testing.T) {
+	for _, r := range []int{2, 3, 4} {
+		t.Run(fmt.Sprintf("r=%d", r), func(t *testing.T) {
+			h := graph.RandomHypergraph(50, 80, r, int64(r))
+			lh := h.LineGraph()
+			if ni := graph.NeighborhoodIndependence(lh); ni > r {
+				t.Fatalf("I(L(H)) = %d > r = %d", ni, r)
+			}
+			pl, err := core.AutoPlan(maxInt(lh.MaxDegree(), 1), r, 2, 4*r+1, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := core.LegalColoring(lh, pl, core.StartAux)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := graph.CheckVertexColoring(lh, res.Outputs); err != nil {
+				t.Fatal(err)
+			}
+			if mc := graph.MaxColor(res.Outputs); mc > pl.TotalPalette() {
+				t.Fatalf("palette %d exceeds %d", mc, pl.TotalPalette())
+			}
+		})
+	}
+}
+
+// TestAdversarialIDs recolors the same graph under several identifier
+// permutations: results must stay legal and within palette bounds, and the
+// deterministic algorithms must be reproducible per assignment.
+func TestAdversarialIDs(t *testing.T) {
+	base := graph.GNM(64, 384, 11)
+	for _, seed := range []int64{0, 1, 2} {
+		g := base
+		if seed > 0 {
+			g = graph.ShuffledIDs(base, seed)
+		}
+		pl, err := core.AutoPlan(g.MaxDegree(), 2, 2, 6, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := edgecolor.LegalEdgeColoring(g, pl, edgecolor.Wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := edgecolor.LegalEdgeColoring(g, pl, edgecolor.Wide)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.Stats != r2.Stats {
+			t.Fatalf("seed %d: deterministic algorithm not reproducible", seed)
+		}
+		colors, err := graph.MergePortColors(g, r1.Outputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := graph.CheckEdgeColoring(g, colors); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+	}
+}
+
+// TestDefectiveStackConsistency checks the two defective subroutines the
+// recursion alternates between (Kuhn vertex chain and Cor 5.4 edge step)
+// against their bounds on one shared workload.
+func TestDefectiveStackConsistency(t *testing.T) {
+	g := graph.TargetDegreeGNM(200, 32, 13)
+	delta := g.MaxDegree()
+	// Cor 5.4 on G.
+	for _, pp := range []int{4, 8} {
+		res, err := defective.EdgeColoring(g, pp)
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors, err := graph.MergePortColors(g, res.Outputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := graph.CheckDefectiveEdgeColoring(g, colors, 4*((delta+pp-1)/pp), pp*pp); err != nil {
+			t.Fatalf("cor54 p'=%d: %v", pp, err)
+		}
+	}
+	// Kuhn vertex chain on L(G).
+	lg := g.LineGraph()
+	deltaL := lg.MaxDegree()
+	for _, p := range []int{4, 8} {
+		res, err := defective.VertexColoring(lg, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := graph.VertexDefect(lg, res.Outputs); d > deltaL/p {
+			t.Fatalf("kuhn p=%d: defect %d exceeds ⌊Δ/p⌋=%d", p, d, deltaL/p)
+		}
+	}
+	// Alg 1 on L(G) (bounded NI): Cor 3.8 bound.
+	for _, p := range []int{4, 8} {
+		res, err := core.DefectiveColoring(lg, 2, 2, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bound := core.DefectiveColoringBound(deltaL, 2, 2, p)
+		if err := graph.CheckDefectiveVertexColoring(lg, res.Outputs, bound, p); err != nil {
+			t.Fatalf("alg1 p=%d: %v", p, err)
+		}
+	}
+}
+
+// TestExtensionStack runs the §6 extensions end to end on one workload.
+func TestExtensionStack(t *testing.T) {
+	g := graph.TargetDegreeGNM(160, 32, 17)
+	if _, err := edgecolor.TradeoffEdgeColoring(g, 2, 6, g.MaxDegree()/2, edgecolor.Wide); err != nil {
+		t.Fatal(err)
+	}
+	lg := graph.GNM(40, 200, 18).LineGraph()
+	if _, err := core.TradeoffColoring(lg, 2, 2, 5, maxInt(lg.MaxDegree()/2, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := core.RandomizedColoring(lg, 2, 2, 5, 8, dist.WithSeed(3)); err != nil {
+		t.Fatal(err)
+	}
+}

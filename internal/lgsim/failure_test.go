@@ -1,0 +1,146 @@
+package lgsim
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/wire"
+)
+
+// TestVirtualPanicPropagates checks that a panic inside a virtual vertex
+// surfaces as a run error rather than a hang.
+func TestVirtualPanicPropagates(t *testing.T) {
+	g := graph.Cycle(8)
+	_, err := Run(g, 3, func(v dist.Process) int {
+		if v.ID()%3 == 0 {
+			panic("virtual boom")
+		}
+		for i := 0; i < 3; i++ {
+			v.Round(nil)
+		}
+		return 0
+	})
+	if err == nil || !strings.Contains(err.Error(), "virtual boom") {
+		t.Fatalf("err = %v, want propagated virtual panic", err)
+	}
+}
+
+// TestWrongVirtualOutboxPanics validates the port-count guard on virtual
+// vertices.
+func TestWrongVirtualOutboxPanics(t *testing.T) {
+	g := graph.Path(4)
+	_, err := Run(g, 1, func(v dist.Process) int {
+		v.Round(make([][]byte, v.Deg()+2))
+		return 0
+	})
+	if err == nil || !strings.Contains(err.Error(), "ports") {
+		t.Fatalf("err = %v, want port mismatch", err)
+	}
+}
+
+// TestDecodeBundleRejectsGarbage exercises the malformed-bundle paths.
+func TestDecodeBundleRejectsGarbage(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("garbage bundle accepted")
+		}
+	}()
+	decodeBundle([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01})
+}
+
+func TestDecodeBundleNil(t *testing.T) {
+	if entries := decodeBundle(nil); entries != nil {
+		t.Fatal("nil bundle should decode to nothing")
+	}
+}
+
+func TestBundleRoundTrip(t *testing.T) {
+	in := [][]bundleEntry{
+		{{src: 5, dst: 9, payload: []byte{1, 2, 3}}, {src: 7, dst: 9, payload: nil}},
+		nil,
+	}
+	msgs := encodeBundles(in, 2)
+	if msgs[1] != nil {
+		t.Fatal("empty port should carry no message")
+	}
+	got := decodeBundle(msgs[0])
+	if len(got) != 2 || got[0].src != 5 || got[0].dst != 9 || len(got[0].payload) != 3 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+	if got[1].src != 7 || len(got[1].payload) != 0 {
+		t.Fatalf("empty payload lost: %+v", got[1])
+	}
+}
+
+// TestZeroVirtualRounds runs an algorithm that needs no communication.
+func TestZeroVirtualRounds(t *testing.T) {
+	g := graph.Complete(5)
+	sim, err := Run(g, 0, func(v dist.Process) int { return v.ID() })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Outputs should be the virtual ids of the edges.
+	for id, e := range g.Edges() {
+		want := VirtualID(g.N(), g.ID(e.U), g.ID(e.V))
+		if sim.Outputs[id] != want {
+			t.Fatalf("edge %d: got %d, want %d", id, sim.Outputs[id], want)
+		}
+	}
+	// Only the setup round is spent.
+	if sim.Physical.Rounds != 1 {
+		t.Fatalf("rounds = %d, want 1 (setup only)", sim.Physical.Rounds)
+	}
+}
+
+// TestVirtualRandReproducible checks seed-derived virtual PRNG streams.
+func TestVirtualRandReproducible(t *testing.T) {
+	g := graph.Cycle(6)
+	draw := func() []int {
+		sim, err := Run(g, 0, func(v dist.Process) int {
+			return v.Rand().Intn(1 << 30)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim.Outputs
+	}
+	a, b := draw(), draw()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("virtual PRNG not reproducible")
+		}
+	}
+	distinct := false
+	for i := 1; i < len(a); i++ {
+		if a[i] != a[0] {
+			distinct = true
+		}
+	}
+	if !distinct {
+		t.Fatal("virtual PRNG streams look identical across vertices")
+	}
+}
+
+// TestBroadcastNilAdvancesRound covers the virtual Broadcast(nil) path.
+func TestBroadcastNilAdvancesRound(t *testing.T) {
+	g := graph.Path(3)
+	sim, err := Run(g, 2, func(v dist.Process) int {
+		v.Broadcast(nil)
+		in := v.Broadcast(wire.EncodeInts(v.Deg()))
+		got := 0
+		for _, msg := range in {
+			if msg != nil {
+				got++
+			}
+		}
+		return got
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Physical.Rounds != 2*2+1 {
+		t.Fatalf("rounds = %d, want 5", sim.Physical.Rounds)
+	}
+}

@@ -1,0 +1,53 @@
+package linial
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// BenchmarkOSquaredByN shows the log* n round shape of Linial's algorithm:
+// the schedule length (= rounds) stays essentially flat as n grows by 16×.
+func BenchmarkOSquaredByN(b *testing.B) {
+	for _, n := range []int{256, 1024, 4096} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g := graph.RandomRegular(n, 8, int64(n))
+			for i := 0; i < b.N; i++ {
+				res, err := OSquaredColoring(g)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if i == 0 {
+					b.ReportMetric(float64(res.Stats.Rounds), "rounds")
+					b.ReportMetric(float64(graph.MaxColor(res.Outputs)), "palette")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkScheduleComputation measures the purely local cost of computing
+// a reduction schedule (every vertex does this in zero rounds).
+func BenchmarkScheduleComputation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if steps := LegalSchedule(1<<30, 64); len(steps) == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+// BenchmarkApply measures one vertex's per-round recoloring work at a
+// realistic degree.
+func BenchmarkApply(b *testing.B) {
+	steps := LegalSchedule(1<<20, 32)
+	s := steps[0]
+	nbrs := make([]int, 32)
+	for i := range nbrs {
+		nbrs[i] = i*31 + 5
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Apply(1000, nbrs)
+	}
+}

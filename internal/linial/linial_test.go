@@ -1,0 +1,240 @@
+package linial
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+func TestNextPrime(t *testing.T) {
+	tests := []struct{ in, want int }{
+		{-5, 2}, {0, 2}, {1, 2}, {2, 2}, {3, 3}, {4, 5}, {8, 11},
+		{13, 13}, {14, 17}, {100, 101}, {7908, 7919},
+	}
+	for _, tt := range tests {
+		if got := NextPrime(tt.in); got != tt.want {
+			t.Errorf("NextPrime(%d) = %d, want %d", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	primes := map[int]bool{2: true, 3: true, 5: true, 7: true, 97: true, 7919: true}
+	for n := -3; n < 100; n++ {
+		want := primes[n]
+		if !want {
+			// brute check
+			want = n >= 2
+			for d := 2; d*d <= n; d++ {
+				if n%d == 0 {
+					want = false
+					break
+				}
+			}
+		}
+		if got := isPrime(n); got != want {
+			t.Errorf("isPrime(%d) = %v, want %v", n, got, want)
+		}
+	}
+}
+
+func TestLegalScheduleShapes(t *testing.T) {
+	// Schedule from n=10^6 at Δ=4 should be very short (log* behavior) and
+	// end at an O(Δ²) palette.
+	steps := LegalSchedule(1_000_000, 4)
+	if len(steps) == 0 || len(steps) > 6 {
+		t.Fatalf("schedule length %d, want small log*-like count", len(steps))
+	}
+	final := FinalPalette(1_000_000, steps)
+	if final > 100*4*4 {
+		t.Fatalf("final palette %d not O(Δ²) for Δ=4", final)
+	}
+	// Palettes strictly decrease along the schedule.
+	k := 1_000_000
+	for i, s := range steps {
+		if s.K != k {
+			t.Fatalf("step %d expects K=%d, chain has %d", i, s.K, k)
+		}
+		if s.NewPalette() >= k {
+			t.Fatalf("step %d does not shrink palette (%d -> %d)", i, k, s.NewPalette())
+		}
+		if s.Q <= s.T {
+			t.Fatalf("step %d has q=%d <= t=%d", i, s.Q, s.T)
+		}
+		k = s.NewPalette()
+	}
+}
+
+func TestLegalScheduleLogStarGrowth(t *testing.T) {
+	// Doubling the exponent of the starting palette should add O(1) steps.
+	s1 := LegalSchedule(1<<16, 8)
+	s2 := LegalSchedule(1<<32, 8)
+	if len(s2) > len(s1)+2 {
+		t.Fatalf("schedule grew too fast: %d vs %d", len(s2), len(s1))
+	}
+}
+
+func TestStepApplyBounds(t *testing.T) {
+	s, ok := legalStep(1000, 5)
+	if !ok {
+		t.Fatal("no step found")
+	}
+	got := s.Apply(700, []int{1, 2, 3, 4, 5})
+	if got < 1 || got > s.NewPalette() {
+		t.Fatalf("color %d outside 1..%d", got, s.NewPalette())
+	}
+	// Deterministic.
+	if again := s.Apply(700, []int{1, 2, 3, 4, 5}); again != got {
+		t.Fatal("Apply is not deterministic")
+	}
+}
+
+func TestStepApplyPanicsOnBadColor(t *testing.T) {
+	s, _ := legalStep(100, 3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-palette color")
+		}
+	}()
+	s.Apply(101, nil)
+}
+
+// TestOneStepPreservesLegality exercises the single-round guarantee: from a
+// legal coloring, one legal step yields a legal coloring with palette q².
+func TestOneStepPreservesLegality(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 8 + rng.Intn(24)
+		m := rng.Intn(n*(n-1)/2 + 1)
+		g := graph.GNM(n, m, seed)
+		steps := LegalSchedule(n, g.MaxDegree())
+		if len(steps) == 0 {
+			return true
+		}
+		s := steps[0]
+		// Initial coloring: identifiers (legal trivially).
+		colors := make([]int, n)
+		for v := range colors {
+			colors[v] = g.ID(v)
+		}
+		next := make([]int, n)
+		for v := 0; v < n; v++ {
+			var nbrs []int
+			for _, u := range g.Neighbors(v) {
+				nbrs = append(nbrs, colors[u])
+			}
+			next[v] = s.Apply(colors[v], nbrs)
+		}
+		if graph.MaxColor(next) > s.NewPalette() {
+			return false
+		}
+		return graph.CheckVertexColoring(g, next) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOSquaredColoringEndToEnd(t *testing.T) {
+	families := map[string]*graph.Graph{
+		"gnm":    graph.GNM(200, 800, 1),
+		"cycle":  graph.Cycle(101),
+		"clique": graph.Complete(12),
+		"tree":   graph.RandomTree(150, 2),
+		"star":   graph.Star(40),
+	}
+	for name, g := range families {
+		t.Run(name, func(t *testing.T) {
+			res, err := OSquaredColoring(g)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := graph.CheckVertexColoring(g, res.Outputs); err != nil {
+				t.Fatal(err)
+			}
+			d := g.MaxDegree()
+			if d == 0 {
+				return
+			}
+			if max := graph.MaxColor(res.Outputs); max > 40*d*d+50 {
+				t.Fatalf("palette %d is not O(Δ²) for Δ=%d", max, d)
+			}
+			steps := LegalSchedule(g.N(), d)
+			if res.Stats.Rounds != len(steps) {
+				t.Fatalf("rounds = %d, want schedule length %d", res.Stats.Rounds, len(steps))
+			}
+			// O(log n) message size: colors fit in a few varint bytes.
+			if res.Stats.MaxMessageBytes > 8 {
+				t.Fatalf("max message %dB, want small", res.Stats.MaxMessageBytes)
+			}
+		})
+	}
+}
+
+func TestOSquaredColoringShuffledIDs(t *testing.T) {
+	g := graph.ShuffledIDs(graph.GNM(120, 500, 3), 99)
+	res, err := OSquaredColoring(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.CheckVertexColoring(g, res.Outputs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunChainMatchesDistributedRun(t *testing.T) {
+	// The pure-logic chain applied centrally must equal the distributed run.
+	g := graph.GNM(60, 200, 5)
+	steps := LegalSchedule(g.N(), g.MaxDegree())
+	colors := make([]int, g.N())
+	for v := range colors {
+		colors[v] = g.ID(v)
+	}
+	for _, s := range steps {
+		next := make([]int, g.N())
+		for v := 0; v < g.N(); v++ {
+			var nbrs []int
+			for _, u := range g.Neighbors(v) {
+				nbrs = append(nbrs, colors[u])
+			}
+			next[v] = s.Apply(colors[v], nbrs)
+		}
+		colors = next
+	}
+	res, err := OSquaredColoring(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range colors {
+		if colors[v] != res.Outputs[v] {
+			t.Fatalf("vertex %d: central %d vs distributed %d", v, colors[v], res.Outputs[v])
+		}
+	}
+	_ = dist.Stats{} // keep dist import for the build
+}
+
+func TestPowAtLeast(t *testing.T) {
+	if !powAtLeast(2, 10, 1024) || powAtLeast(2, 9, 1024) {
+		t.Fatal("powAtLeast wrong around 2^10")
+	}
+	if !powAtLeast(3, 40, 1<<62) {
+		t.Fatal("powAtLeast must not overflow")
+	}
+}
+
+func TestCoeffsRoundTrip(t *testing.T) {
+	q, tdeg := 7, 3
+	for x := 0; x < q*q*q*q; x += 13 {
+		cs := coeffs(x, q, tdeg)
+		back := 0
+		for i := len(cs) - 1; i >= 0; i-- {
+			back = back*q + cs[i]
+		}
+		if back != x {
+			t.Fatalf("coeffs(%d) round trip gave %d", x, back)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+package linial
+
+// NextPrime returns the smallest prime >= n (and >= 2). The field sizes used
+// by the reduction schedules are at most a small multiple of Δ·log n, so
+// trial division is more than fast enough and keeps the code dependency-free.
+func NextPrime(n int) int {
+	if n <= 2 {
+		return 2
+	}
+	if n%2 == 0 {
+		n++
+	}
+	for {
+		if isPrime(n) {
+			return n
+		}
+		n += 2
+	}
+}
+
+func isPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	if n%2 == 0 {
+		return n == 2
+	}
+	for d := 3; d*d <= n; d += 2 {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}

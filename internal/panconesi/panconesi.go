@@ -1,0 +1,175 @@
+// Package panconesi implements the Panconesi–Rizzi deterministic
+// (2Δ−1)-edge-coloring [24], which the paper uses both as the prior
+// state-of-the-art baseline (Tables 1 and 2: O(Δ) + log* n rounds) and as
+// the bottom-of-recursion subroutine of the §5 edge-coloring variant of
+// Procedure Legal-Color.
+//
+// Algorithm: decompose the (sub)graph into degBound edge-disjoint rooted
+// forests by labeling out-edges of the ID orientation (1 round); 3-color the
+// vertices of every forest in parallel with Cole–Vishkin (O(log* n) rounds);
+// then, for each forest ℓ and each forest-color j, let every vertex u with
+// color j in forest ℓ assign greedy colors to all of its child edges in ℓ,
+// avoiding the colors already used at either endpoint. Vertices with color j
+// form an independent set in forest ℓ and child edges of distinct such
+// vertices share no endpoint, so all assignments in a stage are conflict
+// free; each edge sees at most 2·degBound−2 forbidden colors, so the palette
+// {1..2·degBound−1} always suffices. Total: O(degBound) + O(log* n) rounds.
+//
+// The multi-class form colors many edge-disjoint subgraphs ("classes") at
+// once, each with its own palette {1..2·degBound−1}; classes proceed in
+// lockstep through the same stages, so the round cost does not grow with the
+// number of classes — exactly the property the recursion leaf of §5 needs.
+package panconesi
+
+import (
+	"repro/internal/dist"
+	"repro/internal/forest"
+	"repro/internal/graph"
+	"repro/internal/wire"
+)
+
+// stages is the number of forest-color stages per forest (3-coloring).
+const stages = 3
+
+// Rounds returns the exact round cost of EdgeColorStep/EdgeColorMulti for an
+// n-vertex network with the given degree bound: 1 labeling round, the forest
+// 3-coloring, and 2 rounds per (within-class forest, color) stage.
+func Rounds(n, degBound int) int {
+	return 1 + forest.TotalRounds(n) + 2*stages*degBound
+}
+
+// EdgeColorStep computes a legal (2·degBound−1)-edge-coloring of the
+// subgraph formed by the active ports (nil = all ports). degBound must be a
+// degree bound of that subgraph shared by all vertices. It returns the color
+// of each port (0 on inactive ports); both endpoints of an edge return the
+// same color for it. Every vertex spends exactly Rounds(v.N(), degBound)
+// communication rounds.
+func EdgeColorStep(v dist.Process, active []bool, degBound int) []int {
+	classOf := make([]int, v.Deg())
+	for port := range classOf {
+		if active == nil || active[port] {
+			classOf[port] = 1
+		}
+	}
+	return EdgeColorMulti(v, classOf, degBound)
+}
+
+// EdgeColorMulti colors every class subgraph with its own palette
+// {1..2·degBound−1} simultaneously: classOf[port] >= 1 assigns each edge to
+// a class (0 = uncolored/ignored), both endpoints agreeing; every class must
+// have degree ≤ degBound at every vertex.
+func EdgeColorMulti(v dist.Process, classOf []int, degBound int) []int {
+	deg := v.Deg()
+	colors := make([]int, deg)
+	m := forest.AssignLabelsClasses(v, classOf, degBound)
+	fcolors := forest.ThreeColor(v, m)
+
+	// Per-class used-color sets at this vertex; only classes present
+	// locally are materialized.
+	used := make(map[int]map[int]bool, 4)
+	usedOf := func(c int) map[int]bool {
+		if used[c] == nil {
+			used[c] = make(map[int]bool, degBound)
+		}
+		return used[c]
+	}
+	// present enumerates the classes with at least one local port.
+	present := make(map[int]bool, 4)
+	for _, c := range classOf {
+		if c != 0 {
+			present[c] = true
+		}
+	}
+	for l := 1; l <= degBound; l++ {
+		for j := 1; j <= stages; j++ {
+			runStage(v, m, fcolors, classOf, present, l, j, degBound, colors, usedOf)
+		}
+	}
+	return colors
+}
+
+// runStage performs one (within-class label ℓ, forest-color j) stage across
+// all classes: children report their class-local used sets upward; parents
+// whose color in the (class, ℓ) forest is j greedily color child edges.
+func runStage(v dist.Process, m forest.Membership, fcolors map[int]int, classOf []int, present map[int]bool,
+	l, j, degBound int, colors []int, usedOf func(int) map[int]bool) {
+	deg := v.Deg()
+	// Round 1: report used sets on uncolored parent edges of label ℓ.
+	out := make([][]byte, deg)
+	for c := range present {
+		fid := (c-1)*degBound + l
+		if p := m.ParentPortOf(fid); p >= 0 && colors[p] == 0 {
+			var w wire.Writer
+			w.Ints(setToSlice(usedOf(c)))
+			out[p] = w.Bytes()
+		}
+	}
+	in := v.Round(out)
+	// Round 2: parents with color j in the (class, ℓ) forest assign colors.
+	out2 := make([][]byte, deg)
+	for c := range present {
+		fid := (c-1)*degBound + l
+		if !m.InForest(fid) || fcolors[fid] != j {
+			continue
+		}
+		u := usedOf(c)
+		for port := 0; port < deg; port++ {
+			if m.PortLabel[port] != fid || in[port] == nil {
+				continue
+			}
+			r := wire.NewReader(in[port])
+			childUsed := r.Ints()
+			if r.Err() != nil {
+				panic("panconesi: bad used-set message: " + r.Err().Error())
+			}
+			cc := firstFree(u, childUsed)
+			colors[port] = cc
+			u[cc] = true
+			out2[port] = wire.EncodeInts(cc)
+		}
+	}
+	in2 := v.Round(out2)
+	// Record colors our parents picked for our parent edges.
+	for c := range present {
+		fid := (c-1)*degBound + l
+		if p := m.ParentPortOf(fid); p >= 0 && in2[p] != nil {
+			vals, err := wire.DecodeInts(in2[p], 1)
+			if err != nil {
+				panic("panconesi: bad color message: " + err.Error())
+			}
+			colors[p] = vals[0]
+			usedOf(c)[vals[0]] = true
+		}
+	}
+}
+
+// firstFree returns the smallest positive color not in either set.
+func firstFree(used map[int]bool, childUsed []int) int {
+	childSet := make(map[int]bool, len(childUsed))
+	for _, c := range childUsed {
+		childSet[c] = true
+	}
+	for c := 1; ; c++ {
+		if !used[c] && !childSet[c] {
+			return c
+		}
+	}
+}
+
+func setToSlice(s map[int]bool) []int {
+	out := make([]int, 0, len(s))
+	for c := range s {
+		out = append(out, c)
+	}
+	return out
+}
+
+// EdgeColoring runs the full Panconesi–Rizzi algorithm on g and returns the
+// per-vertex port colorings (merge with graph.MergePortColors). The palette
+// is {1..2Δ−1} and the round cost is O(Δ) + O(log* n).
+func EdgeColoring(g *graph.Graph, opts ...dist.Option) (*dist.Result[[]int], error) {
+	degBound := g.MaxDegree()
+	return dist.Run(g, func(v dist.Process) []int {
+		return EdgeColorStep(v, nil, degBound)
+	}, opts...)
+}

@@ -1,0 +1,175 @@
+package reduce
+
+import (
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/linial"
+)
+
+func TestKWRounds(t *testing.T) {
+	tests := []struct{ k, target, want int }{
+		{10, 10, 0},   // already at target
+		{5, 10, 0},    // below target
+		{20, 10, 10},  // 2 blocks -> 1 level
+		{40, 10, 20},  // 4 blocks -> 2 levels
+		{100, 10, 40}, // 10 blocks -> 4 levels
+		{100, 0, 0},   // degenerate target
+		{10000, 10, 100} /* 1000 blocks -> 10 levels */}
+	for _, tt := range tests {
+		if got := KWRounds(tt.k, tt.target); got != tt.want {
+			t.Errorf("KWRounds(%d,%d) = %d, want %d", tt.k, tt.target, got, tt.want)
+		}
+	}
+}
+
+func TestKWReduceFromLinial(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"gnm", graph.GNM(120, 480, 1)},
+		{"clique", graph.Complete(10)},
+		{"cycle", graph.Cycle(41)},
+		{"tree", graph.RandomTree(90, 2)},
+		{"regular", graph.RandomRegular(60, 8, 3)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			g := tc.g
+			delta := g.MaxDegree()
+			steps := linial.LegalSchedule(g.N(), delta)
+			k := linial.FinalPalette(g.N(), steps)
+			res, err := dist.Run(g, func(v dist.Process) int {
+				c := linial.RunChain(steps, v.ID(), linial.BroadcastExchange(v))
+				return KWReduceColors(v, c, k, delta+1, nil)
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := graph.CheckVertexColoring(g, res.Outputs); err != nil {
+				t.Fatal(err)
+			}
+			if mc := graph.MaxColor(res.Outputs); mc > delta+1 {
+				t.Fatalf("palette %d exceeds Δ+1 = %d", mc, delta+1)
+			}
+			want := len(steps) + KWRounds(k, delta+1)
+			if res.Stats.Rounds != want {
+				t.Fatalf("rounds = %d, want %d", res.Stats.Rounds, want)
+			}
+		})
+	}
+}
+
+// TestKWFasterThanNaive asserts the asymptotic win: for k = Θ(Δ²), the KW
+// reduction uses far fewer rounds than one-class-per-round.
+func TestKWFasterThanNaive(t *testing.T) {
+	delta := 40
+	k := 4 * delta * delta
+	naive := k - (delta + 1)
+	kw := KWRounds(k, delta+1)
+	if kw >= naive/3 {
+		t.Fatalf("KW rounds %d not clearly below naive %d", kw, naive)
+	}
+}
+
+func TestKWReduceOnSubgraph(t *testing.T) {
+	// Reduce only within a matching inside K8; target 2 colors per pair.
+	g := graph.Complete(8)
+	res, err := dist.Run(g, func(v dist.Process) int {
+		partner := v.ID() - 1
+		if v.ID()%2 == 1 {
+			partner = v.ID() + 1
+		}
+		active := make([]bool, v.Deg())
+		for p := 0; p < v.Deg(); p++ {
+			active[p] = v.NeighborID(p) == partner
+		}
+		return KWReduceColors(v, v.ID(), 8, 2, active)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.N(); v++ {
+		if c := res.Outputs[v]; c < 1 || c > 2 {
+			t.Fatalf("vertex %d color %d outside 1..2", v, c)
+		}
+	}
+	for v := 0; v < g.N(); v++ {
+		id := g.ID(v)
+		partner := id - 1
+		if id%2 == 1 {
+			partner = id + 1
+		}
+		for u := 0; u < g.N(); u++ {
+			if g.ID(u) == partner && res.Outputs[u] == res.Outputs[v] {
+				t.Fatalf("matched pair (%d,%d) share color %d", id, partner, res.Outputs[v])
+			}
+		}
+	}
+}
+
+func TestKWMatchesNaiveLegality(t *testing.T) {
+	// Both reducers, same input: both must be legal with the same palette.
+	g := graph.GNM(80, 320, 9)
+	delta := g.MaxDegree()
+	steps := linial.LegalSchedule(g.N(), delta)
+	k := linial.FinalPalette(g.N(), steps)
+	run := func(kw bool) []int {
+		res, err := dist.Run(g, func(v dist.Process) int {
+			c := linial.RunChain(steps, v.ID(), linial.BroadcastExchange(v))
+			if kw {
+				return KWReduceColors(v, c, k, delta+1, nil)
+			}
+			return ReduceColors(v, c, k, delta+1, nil)
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Outputs
+	}
+	a, b := run(true), run(false)
+	if err := graph.CheckVertexColoring(g, a); err != nil {
+		t.Fatal(err)
+	}
+	if err := graph.CheckVertexColoring(g, b); err != nil {
+		t.Fatal(err)
+	}
+	if graph.MaxColor(a) > delta+1 || graph.MaxColor(b) > delta+1 {
+		t.Fatal("palette bound violated")
+	}
+}
+
+// BenchmarkLeafReduction_KW and _Naive are the substitution-N1 ablation: the
+// leaf palette reduction of Procedure Legal-Color via Kuhn–Wattenhofer
+// merging vs one-class-per-round.
+func BenchmarkLeafReduction_KW(b *testing.B) {
+	benchLeafReduction(b, true)
+}
+
+func BenchmarkLeafReduction_Naive(b *testing.B) {
+	benchLeafReduction(b, false)
+}
+
+func benchLeafReduction(b *testing.B, kw bool) {
+	b.Helper()
+	g := graph.RandomRegular(128, 16, 7)
+	delta := g.MaxDegree()
+	steps := linial.LegalSchedule(g.N(), delta)
+	k := linial.FinalPalette(g.N(), steps)
+	for i := 0; i < b.N; i++ {
+		res, err := dist.Run(g, func(v dist.Process) int {
+			c := linial.RunChain(steps, v.ID(), linial.BroadcastExchange(v))
+			if kw {
+				return KWReduceColors(v, c, k, delta+1, nil)
+			}
+			return ReduceColors(v, c, k, delta+1, nil)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.ReportMetric(float64(res.Stats.Rounds), "rounds")
+		}
+	}
+}
