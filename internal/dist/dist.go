@@ -1,0 +1,219 @@
+// Package dist is the synchronous message-passing runtime underlying every
+// algorithm in this repository: a faithful executable model of the LOCAL
+// setting the paper works in (Barenboim & Elkin, PODC 2011, §2).
+//
+// An algorithm is an ordinary Go function of type func(Process) T. Run
+// executes one logical instance of it per vertex of a graph.Graph; the
+// instances communicate only through Process.Round, which implements the
+// synchronous round of the LOCAL model: every still-running vertex hands the
+// runtime one outgoing message per incident edge (or nil), blocks, and
+// resumes with the messages its neighbors addressed to it in the same round.
+// A vertex halts by returning from the function; its return value becomes
+// its entry in Result.Outputs and any message later sent to it is dropped.
+//
+// Ports. A vertex of degree d communicates over ports 0..d-1, one per
+// incident edge, ordered by increasing neighbor vertex index — exactly
+// graph.Neighbors. Port i of vertex v and the port that v occupies in the
+// adjacency list of its i-th neighbor name the same edge; the runtime
+// performs that translation during delivery, so algorithms never see the
+// remote port numbering.
+//
+// Engines. Two interchangeable schedulers execute the same contract and are
+// selected with WithEngine:
+//
+//   - Goroutines (default) spawns one goroutine per vertex, synchronized by
+//     a round barrier — the "one goroutine per vertex" simulator promised by
+//     the package documentation. Vertices genuinely run concurrently between
+//     barriers, so `go test -race` exercises real message-passing isolation.
+//   - Lockstep resumes vertices one at a time, in vertex order, within each
+//     round. No two vertex instances ever run simultaneously, which removes
+//     all barrier contention and touches memory in index order; it is the
+//     engine to use for large benchmarks.
+//
+// For a fixed graph and seed the two engines produce byte-identical
+// Result.Outputs and Result.Stats: scheduling differs, the computation does
+// not. TestEnginesAgree pins this.
+//
+// Determinism. WithSeed fixes the per-vertex PRNG streams returned by
+// Process.Rand; each vertex derives its stream from (seed, identifier) with
+// a splitmix64 mix, so streams are distinct across vertices yet reproducible
+// across runs and engines. The default seed is 0 — runs are deterministic
+// unless the caller opts into varying the seed.
+//
+// Accounting. Stats reports the measured cost of a run in the units the
+// paper states its bounds in: Rounds is the number of synchronous rounds
+// executed (a round in which every remaining vertex halts without calling
+// Round does not count), Bytes is the total size of all messages sent, and
+// MaxMessageBytes is the largest single message — the quantity behind the
+// O(log n) / O(p·log Δ) message-size claims of §1.1 and §5.
+//
+// See DESIGN.md for the full runtime contract and the package inventory of
+// the repository.
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Process is the handle through which a vertex algorithm observes its
+// position in the network and communicates. It is the entire API available
+// to an algorithm; everything a vertex knows beyond its initial local state
+// arrives through Round.
+type Process interface {
+	// ID returns this vertex's distinct identifier (graph.Graph.ID): a
+	// value in {1..n} by default, permutable via graph.SetIDs.
+	ID() int
+	// N returns the size of the identifier space, i.e. the number of
+	// vertices of the underlying graph for runs started by Run. (Virtual
+	// networks, such as the Lemma 5.2 simulation in package lgsim, report
+	// the size of their virtual identifier space instead.)
+	N() int
+	// Deg returns the number of incident edges (= ports).
+	Deg() int
+	// MaxDegree returns Δ of the underlying graph, global knowledge the
+	// paper's algorithms assume (§2).
+	MaxDegree() int
+	// NeighborID returns the identifier of the neighbor on the given port.
+	// Ports number 0..Deg()-1 in increasing neighbor-index order.
+	NeighborID(port int) int
+	// Round performs one synchronous communication round. out is either nil
+	// (send nothing) or a slice of exactly Deg() messages, out[port] being
+	// the message for that port (nil = no message on that port). Round
+	// blocks until every other still-running vertex has reached its own
+	// Round call or halted, then returns the received messages: in[port] is
+	// the message the neighbor on that port addressed to this vertex, nil
+	// if it sent none (or has halted). The returned slice always has length
+	// Deg(). Passing a non-nil out of the wrong length panics, which Run
+	// reports as an error.
+	//
+	// Message buffers are handed over by reference: a sender must not
+	// mutate a buffer after passing it to Round (wire.Writer's contract),
+	// and a receiver must treat inbound buffers as read-only — a Broadcast
+	// delivers the same underlying bytes to every neighbor.
+	Round(out [][]byte) [][]byte
+	// Broadcast sends msg on every port and returns the received messages;
+	// Broadcast(nil) is Round(nil) — a round in which nothing is sent.
+	// Each of the Deg() copies is accounted separately in Stats.
+	Broadcast(msg []byte) [][]byte
+	// Rand returns this vertex's private deterministic PRNG stream, derived
+	// from the run seed (WithSeed) and the vertex identifier. Streams are
+	// reproducible across runs and engines and distinct across vertices.
+	Rand() *rand.Rand
+}
+
+// Stats is the measured cost of a run.
+type Stats struct {
+	// Rounds is the number of synchronous rounds executed: rounds in which
+	// at least one vertex called Round. The implicit final "round" in which
+	// every remaining vertex halts is not counted.
+	Rounds int
+	// Bytes is the total size of all messages sent, including messages
+	// dropped because their destination had already halted.
+	Bytes int
+	// MaxMessageBytes is the size of the largest single message sent.
+	MaxMessageBytes int
+}
+
+// String renders the stats compactly, e.g. "rounds=12 bytes=4096 maxMsg=9B".
+func (s Stats) String() string {
+	return fmt.Sprintf("rounds=%d bytes=%d maxMsg=%dB", s.Rounds, s.Bytes, s.MaxMessageBytes)
+}
+
+// Result carries the per-vertex outputs and the measured cost of a run.
+type Result[T any] struct {
+	// Outputs[v] is the return value of the algorithm at vertex index v
+	// (graph indexing, not identifiers).
+	Outputs []T
+	// Stats is the cost accounting of the run.
+	Stats Stats
+}
+
+// Engine selects the scheduler that executes a run. Both engines implement
+// the same synchronous contract and produce identical Outputs and Stats for
+// a fixed seed; see the package documentation.
+type Engine int
+
+const (
+	// Goroutines runs one goroutine per vertex with a barrier per round:
+	// the faithful concurrent LOCAL-model execution. Default.
+	Goroutines Engine = iota
+	// Lockstep resumes vertices sequentially (in vertex order) within each
+	// round: no concurrency, no contention, cache-friendly on large graphs.
+	Lockstep
+)
+
+// String implements fmt.Stringer for diagnostics.
+func (e Engine) String() string {
+	switch e {
+	case Goroutines:
+		return "goroutines"
+	case Lockstep:
+		return "lockstep"
+	default:
+		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// DefaultMaxRounds is the round cap applied when WithMaxRounds is not given:
+// generous enough for every algorithm in this repository (the paper's bounds
+// are polylogarithmic or O(Δ)-ish), small enough to turn an accidentally
+// non-terminating algorithm into an error instead of a hang.
+const DefaultMaxRounds = 1 << 20
+
+type config struct {
+	seed      int64
+	engine    Engine
+	maxRounds int
+}
+
+// Option configures a run.
+type Option func(*config)
+
+// WithSeed fixes the seed from which all per-vertex PRNG streams are
+// derived. The default seed is 0; two runs with the same graph, algorithm,
+// seed and any engine produce identical Outputs and Stats.
+func WithSeed(seed int64) Option {
+	return func(c *config) { c.seed = seed }
+}
+
+// WithEngine selects the scheduler (Goroutines by default).
+func WithEngine(e Engine) Option {
+	return func(c *config) { c.engine = e }
+}
+
+// WithMaxRounds caps the number of rounds a run may execute; exceeding the
+// cap aborts the run with an error. r <= 0 removes the cap entirely. The
+// default cap is DefaultMaxRounds.
+func WithMaxRounds(r int) Option {
+	return func(c *config) { c.maxRounds = r }
+}
+
+// splitmix64 is the finalizer of the splitmix64 generator; used to derive
+// per-vertex seeds that are well spread even for consecutive identifiers.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// VertexSeed derives the PRNG seed of the vertex with the given identifier
+// from a run seed. It is exported for virtual networks that implement
+// Process themselves (package lgsim) so their per-vertex streams use the
+// same derivation as the native runtime.
+func VertexSeed(runSeed int64, id int) int64 {
+	return int64(splitmix64(splitmix64(uint64(runSeed)) ^ splitmix64(uint64(id))))
+}
+
+// SeedOf returns the run seed the given options select (0, the WithSeed
+// default, if none). Virtual networks that layer on top of Run (package
+// lgsim) use it to seed their virtual vertices consistently with the
+// options they forward.
+func SeedOf(opts ...Option) int64 {
+	var c config
+	for _, o := range opts {
+		o(&c)
+	}
+	return c.seed
+}

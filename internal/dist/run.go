@@ -1,0 +1,317 @@
+package dist
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// Run executes algo at every vertex of g under the synchronous LOCAL model
+// and returns the per-vertex outputs with the measured cost. See the package
+// documentation for the execution contract and the available Options.
+//
+// A panic inside any vertex instance aborts the run and is returned as an
+// error carrying the vertex and the panic value.
+func Run[T any](g *graph.Graph, algo func(Process) T, opts ...Option) (*Result[T], error) {
+	cfg := config{engine: Goroutines, maxRounds: DefaultMaxRounds}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.engine != Goroutines && cfg.engine != Lockstep {
+		return nil, fmt.Errorf("dist: unknown engine %v", cfg.engine)
+	}
+	res := &Result[T]{Outputs: make([]T, g.N())}
+	if g.N() == 0 {
+		return res, nil
+	}
+	s := newSched(g, cfg, algo, res)
+	if err := s.run(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Vertex lifecycle within a round. Transitions are driven exclusively by the
+// scheduler goroutine (statusRunning on release) and by the single event it
+// receives per released vertex (statusYielded / statusDone), so status needs
+// no lock: it is only ever read or written while the owning vertex goroutine
+// is parked.
+const (
+	statusRunning = iota // released, executing user code
+	statusYielded        // parked inside Round, outbox staged
+	statusDone           // returned; output recorded
+)
+
+// event is the single message a released vertex goroutine reports back to
+// the scheduler: it reached Round (yielded), returned (done), or panicked.
+type event[T any] struct {
+	p     *proc[T]
+	kind  int // one of statusYielded, statusDone, or eventPanic
+	val   T   // valid when kind == statusDone
+	panic any // valid when kind == eventPanic
+}
+
+const eventPanic = -1
+
+// proc is the per-vertex runtime state; it implements Process.
+type proc[T any] struct {
+	s      *sched[T]
+	idx    int // vertex index in g
+	id     int // distinct identifier g.ID(idx)
+	status int // see lifecycle note above
+	// exiting is set just before runtime.Goexit on an aborted run and read
+	// only by this vertex's own goroutine: it stops user defers that call
+	// Round during the unwind from touching the channels again.
+	exiting bool
+	rng     *rand.Rand
+	outbox  [][]byte      // staged by Round, consumed by deliver
+	inbox   [][]byte      // filled by deliver, consumed by Round
+	resume  chan struct{} // scheduler -> vertex handoff
+}
+
+var _ Process = (*proc[int])(nil)
+
+func (p *proc[T]) ID() int        { return p.id }
+func (p *proc[T]) N() int         { return p.s.g.N() }
+func (p *proc[T]) Deg() int       { return p.s.g.Deg(p.idx) }
+func (p *proc[T]) MaxDegree() int { return p.s.delta }
+
+func (p *proc[T]) NeighborID(port int) int {
+	return p.s.g.ID(int(p.s.g.Neighbors(p.idx)[port]))
+}
+
+func (p *proc[T]) Rand() *rand.Rand {
+	if p.rng == nil {
+		p.rng = rand.New(rand.NewSource(VertexSeed(p.s.cfg.seed, p.id)))
+	}
+	return p.rng
+}
+
+func (p *proc[T]) Round(out [][]byte) [][]byte {
+	deg := p.Deg()
+	if out != nil && len(out) != deg {
+		panic(fmt.Sprintf("dist: vertex id %d sent %d messages on %d ports", p.id, len(out), deg))
+	}
+	p.outbox = out
+	p.park(event[T]{p: p, kind: statusYielded})
+	in := p.inbox
+	p.inbox = nil
+	return in
+}
+
+func (p *proc[T]) Broadcast(msg []byte) [][]byte {
+	if msg == nil {
+		return p.Round(nil)
+	}
+	out := make([][]byte, p.Deg())
+	for i := range out {
+		out[i] = msg
+	}
+	return p.Round(out)
+}
+
+// park reports e to the scheduler and blocks until the scheduler resumes
+// this vertex. If the run aborts while parked, the goroutine unwinds via
+// runtime.Goexit (running user defers, reporting nothing further).
+//
+// The event send is a plain send on purpose: events has capacity n and a
+// live, non-exiting vertex has at most one event in flight (it blocks on
+// resume right after sending), so the send can never block — even after an
+// abort, when the scheduler has stopped draining. The exiting guard keeps
+// that capacity argument true when user defers call Round during the
+// Goexit unwind of an aborted run.
+func (p *proc[T]) park(e event[T]) {
+	if p.exiting {
+		runtime.Goexit()
+	}
+	p.s.events <- e
+	select {
+	case <-p.resume:
+	case <-p.s.aborted:
+		p.exiting = true
+		runtime.Goexit()
+	}
+}
+
+// sched drives one run; both engines share it and differ only in whether
+// releases within a round overlap (Goroutines) or chain (Lockstep).
+type sched[T any] struct {
+	g     *graph.Graph
+	cfg   config
+	algo  func(Process) T
+	res   *Result[T]
+	delta int
+
+	// revPort[v][i] is the port that vertex v occupies at its i-th
+	// neighbor, precomputed so delivery is O(1) per message.
+	revPort [][]int32
+
+	procs   []*proc[T]
+	events  chan event[T] // buffered n: a vertex send never blocks
+	aborted chan struct{} // closed on abort; releases every parked vertex
+}
+
+func newSched[T any](g *graph.Graph, cfg config, algo func(Process) T, res *Result[T]) *sched[T] {
+	n := g.N()
+	s := &sched[T]{
+		g:       g,
+		cfg:     cfg,
+		algo:    algo,
+		res:     res,
+		delta:   g.MaxDegree(),
+		revPort: make([][]int32, n),
+		procs:   make([]*proc[T], n),
+		events:  make(chan event[T], n),
+		aborted: make(chan struct{}),
+	}
+	for v := 0; v < n; v++ {
+		nbrs := g.Neighbors(v)
+		rp := make([]int32, len(nbrs))
+		for i, u := range nbrs {
+			back := g.Neighbors(int(u))
+			j := sort.Search(len(back), func(k int) bool { return back[k] >= int32(v) })
+			rp[i] = int32(j) // back[j] == v: adjacency is symmetric and sorted
+		}
+		s.revPort[v] = rp
+		s.procs[v] = &proc[T]{s: s, idx: v, id: g.ID(v), resume: make(chan struct{})}
+	}
+	return s
+}
+
+// run spawns the vertex goroutines and drives rounds until every vertex has
+// halted, a vertex panics, or the round cap trips.
+func (s *sched[T]) run() (err error) {
+	defer close(s.aborted) // release anything still parked, whatever the exit path
+	for _, p := range s.procs {
+		go s.vertexMain(p)
+	}
+	// active is filtered in place each round, so it must not alias s.procs
+	// (deliver indexes s.procs by vertex).
+	active := append([]*proc[T](nil), s.procs...)
+	for len(active) > 0 {
+		if perr := s.releaseAll(active); perr != nil {
+			return perr
+		}
+		arrived := active[:0]
+		for _, p := range active {
+			if p.status == statusYielded {
+				arrived = append(arrived, p)
+			}
+		}
+		if len(arrived) == 0 {
+			return nil
+		}
+		s.res.Stats.Rounds++
+		if s.cfg.maxRounds > 0 && s.res.Stats.Rounds > s.cfg.maxRounds {
+			return fmt.Errorf("dist: round cap %d exceeded after %v; raise it with WithMaxRounds", s.cfg.maxRounds, s.res.Stats)
+		}
+		s.deliver(arrived)
+		active = arrived
+	}
+	return nil
+}
+
+// vertexMain is the body of one vertex goroutine: wait for the first
+// release, run the algorithm, report the return value. A panic anywhere in
+// the algorithm is reported instead; runtime.Goexit from an aborted park
+// skips both reports (recover returns nil during Goexit).
+func (s *sched[T]) vertexMain(p *proc[T]) {
+	defer func() {
+		if r := recover(); r != nil && !p.exiting {
+			s.events <- event[T]{p: p, kind: eventPanic, panic: r} // never blocks, see park
+		}
+	}()
+	select {
+	case <-p.resume:
+	case <-s.aborted:
+		p.exiting = true
+		runtime.Goexit()
+	}
+	val := s.algo(p)
+	s.events <- event[T]{p: p, kind: statusDone, val: val} // never blocks, see park
+}
+
+// releaseAll resumes every active vertex and waits until each has yielded at
+// Round or halted, updating statuses and recording outputs. Under Goroutines
+// all vertices run concurrently between release and collection; under
+// Lockstep each vertex is released only after the previous one yielded, so
+// at most one vertex instance executes at any time.
+func (s *sched[T]) releaseAll(active []*proc[T]) error {
+	sequential := s.cfg.engine == Lockstep
+	pending := 0
+	for _, p := range active {
+		p.status = statusRunning
+		p.resume <- struct{}{}
+		pending++
+		if sequential {
+			if err := s.collect(&pending); err != nil {
+				return err
+			}
+		}
+	}
+	for pending > 0 {
+		if err := s.collect(&pending); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// collect consumes one event, decrementing *pending.
+func (s *sched[T]) collect(pending *int) error {
+	e := <-s.events
+	*pending--
+	switch e.kind {
+	case statusYielded:
+		e.p.status = statusYielded
+	case statusDone:
+		e.p.status = statusDone
+		s.res.Outputs[e.p.idx] = e.val
+	case eventPanic:
+		return fmt.Errorf("dist: vertex id %d panicked: %v", e.p.id, e.panic)
+	}
+	return nil
+}
+
+// deliver moves the staged outboxes of the vertices that called Round this
+// round into their neighbors' inboxes, accounting costs as it goes.
+// Messages addressed to a vertex that has already halted are dropped (but
+// still accounted: the sender did transmit them). Every arrived vertex ends
+// up with a non-nil inbox of length Deg so Round's return is indexable.
+func (s *sched[T]) deliver(arrived []*proc[T]) {
+	stats := &s.res.Stats
+	for _, p := range arrived {
+		out := p.outbox
+		if out == nil {
+			continue
+		}
+		p.outbox = nil
+		nbrs := s.g.Neighbors(p.idx)
+		rp := s.revPort[p.idx]
+		for port, msg := range out {
+			if msg == nil {
+				continue
+			}
+			stats.Bytes += len(msg)
+			if len(msg) > stats.MaxMessageBytes {
+				stats.MaxMessageBytes = len(msg)
+			}
+			q := s.procs[nbrs[port]]
+			if q.status != statusYielded {
+				continue // halted this round or earlier: drop
+			}
+			if q.inbox == nil {
+				q.inbox = make([][]byte, q.Deg())
+			}
+			q.inbox[rp[port]] = msg
+		}
+	}
+	for _, p := range arrived {
+		if p.inbox == nil {
+			p.inbox = make([][]byte, p.Deg())
+		}
+	}
+}

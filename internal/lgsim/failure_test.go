@@ -97,10 +97,10 @@ func TestZeroVirtualRounds(t *testing.T) {
 // TestVirtualRandReproducible checks seed-derived virtual PRNG streams.
 func TestVirtualRandReproducible(t *testing.T) {
 	g := graph.Cycle(6)
-	draw := func() []int {
+	draw := func(opts ...dist.Option) []int {
 		sim, err := Run(g, 0, func(v dist.Process) int {
 			return v.Rand().Intn(1 << 30)
-		})
+		}, opts...)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -111,6 +111,15 @@ func TestVirtualRandReproducible(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatal("virtual PRNG not reproducible")
 		}
+	}
+	moved := false
+	for i, x := range draw(dist.WithSeed(7)) {
+		if x != a[i] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("WithSeed did not move the virtual PRNG streams")
 	}
 	distinct := false
 	for i := 1; i < len(a); i++ {

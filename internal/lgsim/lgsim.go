@@ -86,8 +86,9 @@ func Run[T any](g *graph.Graph, virtualRounds int, algo func(dist.Process) T, op
 		vids []int
 		vals []T
 	}
+	runSeed := dist.SeedOf(opts...)
 	res, err := dist.Run(g, func(v dist.Process) hostOut {
-		h := newHost[T](v, n, deltaL, virtualRounds, algo)
+		h := newHost[T](v, n, deltaL, virtualRounds, runSeed, algo)
 		return hostOut{vids: h.ownedVIDs, vals: h.run()}
 	}, opts...)
 	if err != nil {
@@ -133,6 +134,7 @@ type host[T any] struct {
 	n             int
 	deltaL        int
 	virtualRounds int
+	runSeed       int64
 	algo          func(dist.Process) T
 
 	portOfID map[int]int // physical neighbor id -> port
@@ -188,14 +190,14 @@ func (p *vproc[T]) Broadcast(msg []byte) [][]byte {
 
 func (p *vproc[T]) Rand() *rand.Rand {
 	if p.rng == nil {
-		p.rng = rand.New(rand.NewSource(p.seed ^ int64(p.vid)*0x9e3779b9))
+		p.rng = rand.New(rand.NewSource(p.seed))
 	}
 	return p.rng
 }
 
-func newHost[T any](v dist.Process, n, deltaL, virtualRounds int, algo func(dist.Process) T) *host[T] {
+func newHost[T any](v dist.Process, n, deltaL, virtualRounds int, runSeed int64, algo func(dist.Process) T) *host[T] {
 	h := &host[T]{
-		v: v, n: n, deltaL: deltaL, virtualRounds: virtualRounds, algo: algo,
+		v: v, n: n, deltaL: deltaL, virtualRounds: virtualRounds, runSeed: runSeed, algo: algo,
 		portOfID: make(map[int]int, v.Deg()),
 		vidPort:  make(map[int]int, v.Deg()),
 		procs:    make(map[int]*vproc[T]),
@@ -280,7 +282,7 @@ func (h *host[T]) run() []T {
 		vp := &vproc[T]{
 			vid: vid, n: VirtualIDSpace(h.n), deltaL: h.deltaL,
 			nbrs: nbrs, portOf: portOf,
-			seed:   int64(splitmix(uint64(vid))),
+			seed:   dist.VertexSeed(h.runSeed, vid),
 			outCh:  make(chan [][]byte),
 			inCh:   make(chan [][]byte),
 			doneCh: make(chan T, 1),
@@ -501,11 +503,4 @@ func decodeBundle(msg []byte) []bundleEntry {
 		panic("lgsim: bad bundle: " + r.Err().Error())
 	}
 	return entries
-}
-
-func splitmix(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
 }

@@ -204,16 +204,18 @@ func TestRunChainMatchesDistributedRun(t *testing.T) {
 		}
 		colors = next
 	}
-	res, err := OSquaredColoring(g)
-	if err != nil {
-		t.Fatal(err)
-	}
-	for v := range colors {
-		if colors[v] != res.Outputs[v] {
-			t.Fatalf("vertex %d: central %d vs distributed %d", v, colors[v], res.Outputs[v])
+	for _, engine := range []dist.Engine{dist.Goroutines, dist.Lockstep} {
+		res, err := OSquaredColoring(g, dist.WithEngine(engine))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := range colors {
+			if colors[v] != res.Outputs[v] {
+				t.Fatalf("engine %v, vertex %d: central %d vs distributed %d",
+					engine, v, colors[v], res.Outputs[v])
+			}
 		}
 	}
-	_ = dist.Stats{} // keep dist import for the build
 }
 
 func TestPowAtLeast(t *testing.T) {
