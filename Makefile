@@ -1,0 +1,38 @@
+# Development entry points. CI runs build/vet/test-race plus bench-smoke;
+# bench is the full measurement run that refreshes BENCH_runtime.json.
+
+GO ?= go
+
+.PHONY: build test race vet fmt bench bench-smoke fuzz-smoke
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
+
+# Full benchmark pass: root artifact benchmarks + internal/dist engine and
+# runner benchmarks, exported as BENCH_runtime.json (ns/op, B/op, allocs/op,
+# rounds, msgBytes, ...) so the performance trajectory is tracked per commit.
+bench:
+	scripts/bench.sh
+
+# One-iteration smoke of the same suite: proves the benchmarks and the JSON
+# emitter stay runnable without paying measurement time. CI runs this.
+bench-smoke:
+	BENCHTIME=1x OUT=/dev/null scripts/bench.sh
+
+# Short fuzz pass over the graph builder and the wire codec seed corpora.
+fuzz-smoke:
+	$(GO) test -fuzz FuzzBuilder -fuzztime 10s -run '^$$' ./internal/graph/
+	$(GO) test -fuzz FuzzRoundTrip -fuzztime 10s -run '^$$' ./internal/wire/
+	$(GO) test -fuzz FuzzReader -fuzztime 10s -run '^$$' ./internal/wire/

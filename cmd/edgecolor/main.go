@@ -31,17 +31,18 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("edgecolor", flag.ContinueOnError)
 	var (
-		gtype = fs.String("graph", "gnm", "graph family: gnm|regular|clique|cycle|tree|fig1")
-		n     = fs.Int("n", 256, "number of vertices")
-		m     = fs.Int("m", 1024, "number of edges (gnm)")
-		deg   = fs.Int("deg", 8, "degree (regular) / k (fig1)")
-		seed  = fs.Int64("seed", 1, "generator and algorithm seed")
-		alg   = fs.String("alg", "be", "algorithm: be|pr|greedy|rand|tradeoff|cor62")
-		bFlag = fs.Int("b", 2, "Algorithm 1 parameter b")
-		pFlag = fs.Int("p", 6, "Algorithm 1 parameter p")
-		mode  = fs.String("mode", "wide", "message mode: wide|short")
-		quiet = fs.Bool("q", false, "suppress the per-edge coloring dump")
-		dot   = fs.String("dot", "", "write the colored graph in Graphviz DOT format to this file")
+		gtype  = fs.String("graph", "gnm", "graph family: gnm|regular|clique|cycle|tree|fig1")
+		n      = fs.Int("n", 256, "number of vertices")
+		m      = fs.Int("m", 1024, "number of edges (gnm)")
+		deg    = fs.Int("deg", 8, "degree (regular) / k (fig1)")
+		seed   = fs.Int64("seed", 1, "generator and algorithm seed")
+		alg    = fs.String("alg", "be", "algorithm: be|pr|greedy|rand|tradeoff|cor62")
+		bFlag  = fs.Int("b", 2, "Algorithm 1 parameter b")
+		pFlag  = fs.Int("p", 6, "Algorithm 1 parameter p")
+		mode   = fs.String("mode", "wide", "message mode: wide|short")
+		engine = fs.String("engine", "goroutines", "dist scheduler: goroutines|lockstep|sharded")
+		quiet  = fs.Bool("q", false, "suppress the per-edge coloring dump")
+		dot    = fs.String("dot", "", "write the colored graph in Graphviz DOT format to this file")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,6 +51,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	eng, err := dist.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	opts := []dist.Option{dist.WithSeed(*seed), dist.WithEngine(eng)}
 	msgMode := edgecolor.Wide
 	if *mode == "short" {
 		msgMode = edgecolor.Short
@@ -66,20 +72,20 @@ func run(args []string) error {
 			return err
 		}
 		fmt.Printf("plan:  %v\n", pl)
-		ports, err = edgecolor.LegalEdgeColoring(g, pl, msgMode, dist.WithSeed(*seed))
+		ports, err = edgecolor.LegalEdgeColoring(g, pl, msgMode, opts...)
 		if err != nil {
 			return err
 		}
 	case "pr":
-		ports, err = panconesi.EdgeColoring(g, dist.WithSeed(*seed))
+		ports, err = panconesi.EdgeColoring(g, opts...)
 	case "greedy":
-		ports, err = baseline.GreedyEdgeColoring(g, dist.WithSeed(*seed))
+		ports, err = baseline.GreedyEdgeColoring(g, opts...)
 	case "rand":
-		ports, err = baseline.RandomizedTrialEdgeColoring(g, dist.WithSeed(*seed))
+		ports, err = baseline.RandomizedTrialEdgeColoring(g, opts...)
 	case "tradeoff":
-		ports, err = edgecolor.TradeoffEdgeColoring(g, *bFlag, *pFlag, g.MaxDegree()/2, msgMode, dist.WithSeed(*seed))
+		ports, err = edgecolor.TradeoffEdgeColoring(g, *bFlag, *pFlag, g.MaxDegree()/2, msgMode, opts...)
 	case "cor62":
-		ports, err = edgecolor.RandomizedEdgeColoring(g, *bFlag, *pFlag, 8, msgMode, dist.WithSeed(*seed))
+		ports, err = edgecolor.RandomizedEdgeColoring(g, *bFlag, *pFlag, 8, msgMode, opts...)
 	default:
 		return fmt.Errorf("unknown algorithm %q", *alg)
 	}

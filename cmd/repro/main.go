@@ -4,18 +4,26 @@
 //
 // Usage:
 //
-//	repro -list             # enumerate experiments
-//	repro -exp table1       # run one experiment
-//	repro -exp all          # run everything (EXPERIMENTS.md source data)
+//	repro -list                      # enumerate experiments
+//	repro -exp table1                # run one experiment
+//	repro -exp all                   # run everything (EXPERIMENTS.md source data)
+//	repro -exp all -engine sharded   # same artifacts, sharded scheduler
+//	repro -workers 4                 # bound the experiment worker pool
+//
+// Artifacts are byte-identical across engines and worker counts: the
+// simulator is deterministic and the harness aggregates grid cells in index
+// order, so -engine and -workers trade wall-clock only.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 
+	"repro/internal/dist"
 	"repro/internal/exp"
 )
 
@@ -29,49 +37,94 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
 	var (
-		name   = fs.String("exp", "all", "experiment name or 'all'")
-		list   = fs.Bool("list", false, "list experiments and exit")
-		outDir = fs.String("out", "", "also write each experiment's tables to <out>/<name>.txt")
+		name    = fs.String("exp", "all", "experiment name or 'all'")
+		list    = fs.Bool("list", false, "list experiments and exit")
+		outDir  = fs.String("out", "", "also write each experiment's tables to <out>/<name>.txt")
+		engine  = fs.String("engine", "goroutines", "dist scheduler: goroutines|lockstep|sharded")
+		workers = fs.Int("workers", 0, "worker pool for experiment grids (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	eng, err := dist.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	cfg := exp.Config{Engine: eng, Workers: *workers}
 	if *list {
 		for _, e := range exp.All() {
 			fmt.Printf("%-14s %s\n", e.Name, e.Desc)
 		}
 		return nil
 	}
-	runOne := func(e exp.Experiment) error {
-		var w io.Writer = os.Stdout
-		if *outDir != "" {
-			if err := os.MkdirAll(*outDir, 0o755); err != nil {
-				return err
-			}
-			f, err := os.Create(filepath.Join(*outDir, e.Name+".txt"))
-			if err != nil {
-				return err
-			}
-			defer f.Close()
-			w = io.MultiWriter(os.Stdout, f)
+	emit := func(e exp.Experiment, rendered []byte) error {
+		if _, err := os.Stdout.Write(rendered); err != nil {
+			return err
 		}
-		if err := e.Run(w); err != nil {
-			return fmt.Errorf("%s: %w", e.Name, err)
+		if *outDir == "" {
+			return nil
 		}
-		return nil
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		return os.WriteFile(filepath.Join(*outDir, e.Name+".txt"), rendered, 0o644)
 	}
 	if *name == "all" {
-		for _, e := range exp.All() {
-			fmt.Printf("### %s — %s\n\n", e.Name, e.Desc)
-			if err := runOne(e); err != nil {
-				return err
-			}
-		}
-		return nil
+		return runAll(cfg, emit)
 	}
 	e, ok := exp.Lookup(*name)
 	if !ok {
 		return fmt.Errorf("unknown experiment %q (use -list)", *name)
 	}
-	return runOne(e)
+	var buf bytes.Buffer
+	var w io.Writer = &buf
+	if err := e.Run(w, cfg); err != nil {
+		return fmt.Errorf("%s: %w", e.Name, err)
+	}
+	return emit(e, buf.Bytes())
+}
+
+// runAll renders every experiment into its own buffer, up to cfg.Workers at
+// a time, and emits each one in registration order as soon as its turn
+// comes: output streams while later experiments still run, yet is
+// byte-identical to the serial order. The experiment-level pool is the only
+// pool — each experiment renders its own grid serially — so the total
+// parallelism is bounded by cfg.Workers instead of compounding two pool
+// levels.
+func runAll(cfg exp.Config, emit func(exp.Experiment, []byte) error) error {
+	all := exp.All()
+	inner := cfg
+	inner.Workers = 1
+	rendered := make([][]byte, len(all))
+	errs := make([]error, len(all))
+	done := make([]chan struct{}, len(all))
+	for i := range all {
+		done[i] = make(chan struct{})
+	}
+	sem := make(chan struct{}, cfg.EffectiveWorkers())
+	for i := range all {
+		go func(i int) {
+			sem <- struct{}{}
+			defer func() { <-sem; close(done[i]) }()
+			var buf bytes.Buffer
+			if err := all[i].Run(&buf, inner); err != nil {
+				errs[i] = fmt.Errorf("%s: %w", all[i].Name, err)
+				return
+			}
+			rendered[i] = buf.Bytes()
+		}(i)
+	}
+	for i, e := range all {
+		<-done[i]
+		if errs[i] != nil {
+			return errs[i]
+		}
+		// The section header goes to stdout only, so the per-experiment
+		// artifact files stay byte-identical to single-experiment runs.
+		fmt.Printf("### %s — %s\n\n", e.Name, e.Desc)
+		if err := emit(e, rendered[i]); err != nil {
+			return err
+		}
+	}
+	return nil
 }

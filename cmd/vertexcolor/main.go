@@ -30,15 +30,16 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("vertexcolor", flag.ContinueOnError)
 	var (
-		gtype = fs.String("graph", "linegraph", "family: linegraph|powercycle|fig1|hypergraph|geometric")
-		n     = fs.Int("n", 128, "base size (vertices of the underlying graph)")
-		m     = fs.Int("m", 512, "edges / hyperedges for random families")
-		k     = fs.Int("k", 6, "power for powercycle, clique size for fig1")
-		r     = fs.Int("r", 3, "hypergraph rank")
-		seed  = fs.Int64("seed", 1, "generator and algorithm seed")
-		alg   = fs.String("alg", "legal", "algorithm: legal|legalaux|defective|tradeoff|randomized|greedy")
-		bFlag = fs.Int("b", 2, "Algorithm 1 parameter b")
-		pFlag = fs.Int("p", 0, "Algorithm 1 parameter p (0 = auto: 4c+1)")
+		gtype  = fs.String("graph", "linegraph", "family: linegraph|powercycle|fig1|hypergraph|geometric")
+		n      = fs.Int("n", 128, "base size (vertices of the underlying graph)")
+		m      = fs.Int("m", 512, "edges / hyperedges for random families")
+		k      = fs.Int("k", 6, "power for powercycle, clique size for fig1")
+		r      = fs.Int("r", 3, "hypergraph rank")
+		seed   = fs.Int64("seed", 1, "generator and algorithm seed")
+		alg    = fs.String("alg", "legal", "algorithm: legal|legalaux|defective|tradeoff|randomized|greedy")
+		bFlag  = fs.Int("b", 2, "Algorithm 1 parameter b")
+		pFlag  = fs.Int("p", 0, "Algorithm 1 parameter p (0 = auto: 4c+1)")
+		engine = fs.String("engine", "goroutines", "dist scheduler: goroutines|lockstep|sharded")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -47,6 +48,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	eng, err := dist.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	opts := []dist.Option{dist.WithSeed(*seed), dist.WithEngine(eng)}
 	fmt.Printf("graph: %v, neighborhood independence c=%d\n", g, c)
 	p := *pFlag
 	if p == 0 {
@@ -65,12 +71,12 @@ func run(args []string) error {
 		if *alg == "legalaux" {
 			mode = core.StartAux
 		}
-		res, err = core.LegalColoring(g, pl, mode, dist.WithSeed(*seed))
+		res, err = core.LegalColoring(g, pl, mode, opts...)
 		if err != nil {
 			return err
 		}
 	case "defective":
-		res, err = core.DefectiveColoring(g, c, *bFlag, p, dist.WithSeed(*seed))
+		res, err = core.DefectiveColoring(g, c, *bFlag, p, opts...)
 		if err != nil {
 			return err
 		}
@@ -85,17 +91,17 @@ func run(args []string) error {
 		if classDeg < 2 {
 			classDeg = g.MaxDegree()
 		}
-		res, err = core.TradeoffColoring(g, c, *bFlag, p, classDeg, dist.WithSeed(*seed))
+		res, err = core.TradeoffColoring(g, c, *bFlag, p, classDeg, opts...)
 		if err != nil {
 			return err
 		}
 	case "randomized":
-		res, err = core.RandomizedColoring(g, c, *bFlag, p, 8, dist.WithSeed(*seed))
+		res, err = core.RandomizedColoring(g, c, *bFlag, p, 8, opts...)
 		if err != nil {
 			return err
 		}
 	case "greedy":
-		res, err = baseline.GreedyVertexColoring(g, dist.WithSeed(*seed))
+		res, err = baseline.GreedyVertexColoring(g, opts...)
 		if err != nil {
 			return err
 		}

@@ -7,13 +7,20 @@
 // The library implements the paper's LOCAL-model algorithms — Procedure
 // Defective-Color, Procedure Legal-Color, their §5 edge-coloring variants
 // for general graphs, and the §6 extensions — together with every substrate
-// they depend on (a synchronous message-passing simulator with one goroutine
-// per vertex, Linial's cover-free color reduction, Kuhn's defective
-// colorings, Cole–Vishkin forest 3-coloring, Panconesi–Rizzi edge coloring)
-// and the baselines the paper compares against.
+// they depend on (a synchronous message-passing simulator with three
+// interchangeable engines — Goroutines, Lockstep, and Sharded — and a
+// reusable Runner that amortizes the runtime state across repeated runs;
+// CSR graphs with build-time reverse ports; Linial's cover-free color
+// reduction, Kuhn's defective colorings, Cole–Vishkin forest 3-coloring,
+// Panconesi–Rizzi edge coloring) and the baselines the paper compares
+// against.
 //
 // Start at DESIGN.md for the system inventory, EXPERIMENTS.md for the
 // measured reproduction of every table and figure, examples/quickstart for
-// the API, and cmd/repro to regenerate all experiment artifacts. The root
-// bench_test.go exposes one benchmark per paper artifact.
+// the API, and cmd/repro to regenerate all experiment artifacts (its
+// -engine and -workers flags select the scheduler and the experiment
+// worker pool; artifacts are byte-identical either way). The root
+// bench_test.go exposes one benchmark per paper artifact, and
+// scripts/bench.sh (make bench) exports the whole benchmark suite as
+// BENCH_runtime.json.
 package repro

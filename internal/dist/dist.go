@@ -18,8 +18,8 @@
 // performs that translation during delivery, so algorithms never see the
 // remote port numbering.
 //
-// Engines. Two interchangeable schedulers execute the same contract and are
-// selected with WithEngine:
+// Engines. Three interchangeable schedulers execute the same contract and
+// are selected with WithEngine:
 //
 //   - Goroutines (default) spawns one goroutine per vertex, synchronized by
 //     a round barrier — the "one goroutine per vertex" simulator promised by
@@ -27,12 +27,24 @@
 //     barriers, so `go test -race` exercises real message-passing isolation.
 //   - Lockstep resumes vertices one at a time, in vertex order, within each
 //     round. No two vertex instances ever run simultaneously, which removes
-//     all barrier contention and touches memory in index order; it is the
-//     engine to use for large benchmarks.
+//     all barrier contention and touches memory in index order.
+//   - Sharded partitions vertices into contiguous shards (GOMAXPROCS by
+//     default, WithShards to override) with one logical worker per shard:
+//     releases chain through each shard in index order via direct
+//     vertex-to-vertex token handoff, message accounting is tallied
+//     sender-side per shard and merged in shard index order, and delivery
+//     is destination-sharded (each worker gathers its own vertices' inboxes
+//     in parallel). It is the engine for large or repeated runs.
 //
-// For a fixed graph and seed the two engines produce byte-identical
+// For a fixed graph and seed all engines produce byte-identical
 // Result.Outputs and Result.Stats: scheduling differs, the computation does
 // not. TestEnginesAgree pins this.
+//
+// Reuse. Run rebuilds the per-vertex runtime state from scratch on every
+// call. NewRunner amortizes that state — procs, channels, pooled round
+// inboxes — across repeated runs over the same graph, so a steady-state run
+// allocates only its Result; experiment grids that execute thousands of
+// runs should hold one Runner per graph.
 //
 // Determinism. WithSeed fixes the per-vertex PRNG streams returned by
 // Process.Rand; each vertex derives its stream from (seed, identifier) with
@@ -90,11 +102,19 @@ type Process interface {
 	// Message buffers are handed over by reference: a sender must not
 	// mutate a buffer after passing it to Round (wire.Writer's contract),
 	// and a receiver must treat inbound buffers as read-only — a Broadcast
-	// delivers the same underlying bytes to every neighbor.
+	// delivers the same underlying bytes to every neighbor. The returned
+	// slice is a pooled buffer: it is read-only too (writing into its
+	// slots can resurface the written values as phantom messages in later
+	// rounds, since delivery clears only the slots it filled), and it is
+	// valid only until this vertex's next Round call, after which the
+	// runtime recycles it. Passing the returned slice itself back as the
+	// next out is supported — the runtime snapshots it before recycling.
 	Round(out [][]byte) [][]byte
 	// Broadcast sends msg on every port and returns the received messages;
 	// Broadcast(nil) is Round(nil) — a round in which nothing is sent.
-	// Each of the Deg() copies is accounted separately in Stats.
+	// Each of the Deg() copies is accounted separately in Stats. The
+	// outbox Broadcast stages is a per-vertex scratch slice that is
+	// invalidated at the next Round or Broadcast call.
 	Broadcast(msg []byte) [][]byte
 	// Rand returns this vertex's private deterministic PRNG stream, derived
 	// from the run seed (WithSeed) and the vertex identifier. Streams are
@@ -129,7 +149,7 @@ type Result[T any] struct {
 	Stats Stats
 }
 
-// Engine selects the scheduler that executes a run. Both engines implement
+// Engine selects the scheduler that executes a run. All engines implement
 // the same synchronous contract and produce identical Outputs and Stats for
 // a fixed seed; see the package documentation.
 type Engine int
@@ -141,6 +161,11 @@ const (
 	// Lockstep resumes vertices sequentially (in vertex order) within each
 	// round: no concurrency, no contention, cache-friendly on large graphs.
 	Lockstep
+	// Sharded partitions vertices into contiguous shards with one logical
+	// worker each: per-shard token-chain releases, sender-side per-shard
+	// accounting merged in index order, and destination-sharded parallel
+	// gather delivery. The fastest engine for large or repeated runs.
+	Sharded
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -150,8 +175,25 @@ func (e Engine) String() string {
 		return "goroutines"
 	case Lockstep:
 		return "lockstep"
+	case Sharded:
+		return "sharded"
 	default:
 		return fmt.Sprintf("engine(%d)", int(e))
+	}
+}
+
+// ParseEngine parses an engine name as printed by Engine.String — the
+// accepted values of the CLIs' -engine flags.
+func ParseEngine(s string) (Engine, error) {
+	switch s {
+	case "goroutines":
+		return Goroutines, nil
+	case "lockstep":
+		return Lockstep, nil
+	case "sharded":
+		return Sharded, nil
+	default:
+		return 0, fmt.Errorf("dist: unknown engine %q (want goroutines, lockstep, or sharded)", s)
 	}
 }
 
@@ -165,6 +207,7 @@ type config struct {
 	seed      int64
 	engine    Engine
 	maxRounds int
+	shards    int
 }
 
 // Option configures a run.
@@ -187,6 +230,15 @@ func WithEngine(e Engine) Option {
 // default cap is DefaultMaxRounds.
 func WithMaxRounds(r int) Option {
 	return func(c *config) { c.maxRounds = r }
+}
+
+// WithShards fixes the shard count of the Sharded engine (clamped to the
+// vertex count; n <= 0 restores the GOMAXPROCS default). Outputs and Stats
+// do not depend on the shard count — the knob exists for tuning and for
+// tests that want to exercise multi-shard interleavings on any machine.
+// The other engines ignore it.
+func WithShards(n int) Option {
+	return func(c *config) { c.shards = n }
 }
 
 // splitmix64 is the finalizer of the splitmix64 generator; used to derive

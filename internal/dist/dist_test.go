@@ -52,8 +52,8 @@ func runChatty(t *testing.T, g *graph.Graph, opts ...Option) *Result[[]int] {
 }
 
 // TestEnginesAgree is the central determinism contract: for any fixed seed,
-// both engines produce byte-identical Outputs and Stats, across repeated
-// runs.
+// all three engines produce byte-identical Outputs and Stats, across
+// repeated runs and regardless of the Sharded engine's shard count.
 func TestEnginesAgree(t *testing.T) {
 	graphs := map[string]*graph.Graph{
 		"cycle":     graph.Cycle(50),
@@ -66,18 +66,167 @@ func TestEnginesAgree(t *testing.T) {
 	for name, g := range graphs {
 		for seed := int64(0); seed < 3; seed++ {
 			goro := runChatty(t, g, WithSeed(seed), WithEngine(Goroutines))
-			lock := runChatty(t, g, WithSeed(seed), WithEngine(Lockstep))
-			if !reflect.DeepEqual(goro.Outputs, lock.Outputs) {
-				t.Fatalf("%s seed %d: outputs differ across engines", name, seed)
+			variants := map[string]*Result[[]int]{
+				"lockstep":  runChatty(t, g, WithSeed(seed), WithEngine(Lockstep)),
+				"sharded":   runChatty(t, g, WithSeed(seed), WithEngine(Sharded)),
+				"sharded-1": runChatty(t, g, WithSeed(seed), WithEngine(Sharded), WithShards(1)),
+				"sharded-5": runChatty(t, g, WithSeed(seed), WithEngine(Sharded), WithShards(5)),
+				"again":     runChatty(t, g, WithSeed(seed), WithEngine(Goroutines)),
 			}
-			if goro.Stats != lock.Stats {
-				t.Fatalf("%s seed %d: stats differ: goroutines %v vs lockstep %v",
-					name, seed, goro.Stats, lock.Stats)
+			for vname, res := range variants {
+				if !reflect.DeepEqual(goro.Outputs, res.Outputs) {
+					t.Fatalf("%s seed %d: outputs differ: goroutines vs %s", name, seed, vname)
+				}
+				if goro.Stats != res.Stats {
+					t.Fatalf("%s seed %d: stats differ: goroutines %v vs %s %v",
+						name, seed, goro.Stats, vname, res.Stats)
+				}
 			}
-			again := runChatty(t, g, WithSeed(seed), WithEngine(Goroutines))
-			if !reflect.DeepEqual(goro.Outputs, again.Outputs) || goro.Stats != again.Stats {
-				t.Fatalf("%s seed %d: goroutine engine not reproducible across runs", name, seed)
+		}
+	}
+}
+
+// TestRunnerReuseAgrees pins the Runner reuse contract: repeated runs on one
+// Runner — same or different seeds, engines switched mid-stream, even after
+// an aborted run — match fresh dist.Run results exactly.
+func TestRunnerReuseAgrees(t *testing.T) {
+	g := graph.GNM(120, 500, 9)
+	r := NewRunner[[]int](g)
+	for i := 0; i < 3; i++ {
+		for _, e := range []Engine{Goroutines, Lockstep, Sharded} {
+			for seed := int64(0); seed < 2; seed++ {
+				got, err := r.Run(chatty, WithSeed(seed), WithEngine(e), WithShards(3))
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := runChatty(t, g, WithSeed(seed), WithEngine(e))
+				if !reflect.DeepEqual(got.Outputs, want.Outputs) || got.Stats != want.Stats {
+					t.Fatalf("reused runner diverged from fresh run (engine %v seed %d iter %d)", e, seed, i)
+				}
 			}
+		}
+		// Abort a run mid-stream; the Runner must rebuild and keep working.
+		if _, err := r.Run(func(v Process) []int {
+			if v.ID() == 5 {
+				panic("poison the runner")
+			}
+			for {
+				v.Round(nil)
+			}
+		}, WithEngine(Engine(i%3))); err == nil {
+			t.Fatal("poisoned run did not error")
+		}
+	}
+}
+
+// TestEchoForwardAcrossEngines pins the echo pattern — passing the slice
+// Round returned straight back as the next outbox — which aliases the
+// pooled inbox: the runtime must snapshot it so delivery's slot recycling
+// cannot eat the staged messages, and all engines must agree byte for byte.
+func TestEchoForwardAcrossEngines(t *testing.T) {
+	for _, g := range []*graph.Graph{graph.Cycle(6), graph.Complete(9), graph.GNM(40, 120, 5)} {
+		var want *Result[int]
+		for _, opts := range [][]Option{
+			{WithEngine(Goroutines)},
+			{WithEngine(Lockstep)},
+			{WithEngine(Sharded), WithShards(1)},
+			{WithEngine(Sharded), WithShards(3)},
+		} {
+			res, err := Run(g, func(v Process) int {
+				in := v.Broadcast([]byte{7})
+				in = v.Round(in) // forward everything we just received
+				got := 0
+				for _, m := range in {
+					if m != nil {
+						got++
+					}
+				}
+				return got
+			}, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want == nil {
+				want = res
+				// Every vertex echoes on all ports, so round 2 delivers a
+				// full inbox again and doubles the byte count.
+				if res.Stats.Rounds != 2 || res.Stats.Bytes != 2*2*g.M() {
+					t.Fatalf("%v: stats %v, want rounds=2 bytes=%d", g, res.Stats, 4*g.M())
+				}
+				for v, got := range res.Outputs {
+					if got != g.Deg(v) {
+						t.Fatalf("%v vertex %d: echoed %d messages, want Deg=%d", g, v, got, g.Deg(v))
+					}
+				}
+				continue
+			}
+			if !reflect.DeepEqual(want.Outputs, res.Outputs) || want.Stats != res.Stats {
+				t.Fatalf("%v opts %d: echo run diverged across engines", g, len(opts))
+			}
+		}
+	}
+}
+
+// TestShardedIsSequentialWithinShard: with a single shard the Sharded engine
+// is globally sequential in index order, so unsynchronized shared state is
+// safe (and -race agrees), exactly like Lockstep.
+func TestShardedIsSequentialWithinShard(t *testing.T) {
+	g := graph.Complete(10)
+	running := 0
+	maxRunning := 0
+	_, err := Run(g, func(v Process) int {
+		for r := 0; r < 3; r++ {
+			running++
+			if running > maxRunning {
+				maxRunning = running
+			}
+			running--
+			v.Round(nil)
+		}
+		return 0
+	}, WithEngine(Sharded), WithShards(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxRunning != 1 {
+		t.Fatalf("max concurrent vertices = %d, want 1", maxRunning)
+	}
+}
+
+// TestShardedUnderRace drives the Sharded engine with several shards on a
+// dense graph with real cross-shard message traffic; under -race this
+// validates the token-chain release and the destination-sharded gather.
+func TestShardedUnderRace(t *testing.T) {
+	g := graph.Complete(40)
+	res, err := Run(g, func(v Process) int {
+		total := 0
+		for r := 0; r < 5; r++ {
+			in := v.Broadcast(wire.EncodeInts(v.ID() + r))
+			for _, msg := range in {
+				vals, err := wire.DecodeInts(msg, 1)
+				if err != nil {
+					panic(err)
+				}
+				total += vals[0]
+			}
+		}
+		return total
+	}, WithEngine(Sharded), WithShards(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, got := range res.Outputs {
+		want := 0
+		for u := 0; u < g.N(); u++ {
+			if u == v {
+				continue
+			}
+			for r := 0; r < 5; r++ {
+				want += g.ID(u) + r
+			}
+		}
+		if got != want {
+			t.Fatalf("vertex %d: total %d, want %d", v, got, want)
 		}
 	}
 }
@@ -128,7 +277,7 @@ func TestGoroutineEngineUnderRace(t *testing.T) {
 // totals, and the rule that the final all-halt round is not counted.
 func TestRoundSemantics(t *testing.T) {
 	g := graph.Path(3) // edges 0-1, 1-2
-	for _, e := range []Engine{Goroutines, Lockstep} {
+	for _, e := range []Engine{Goroutines, Lockstep, Sharded} {
 		res, err := Run(g, func(v Process) int {
 			in := v.Broadcast([]byte{1, 2, 3})
 			n := 0
@@ -173,7 +322,7 @@ func TestZeroRounds(t *testing.T) {
 // but the sender's bytes still count.
 func TestMessagesToHaltedAreDropped(t *testing.T) {
 	g := graph.Path(2)
-	for _, e := range []Engine{Goroutines, Lockstep} {
+	for _, e := range []Engine{Goroutines, Lockstep, Sharded} {
 		res, err := Run(g, func(v Process) int {
 			if v.ID() == 1 {
 				return -1 // halts immediately
@@ -204,7 +353,7 @@ func TestMessagesToHaltedAreDropped(t *testing.T) {
 // vertex, on both engines, without hanging the other vertices.
 func TestPanicPropagates(t *testing.T) {
 	g := graph.Cycle(12)
-	for _, e := range []Engine{Goroutines, Lockstep} {
+	for _, e := range []Engine{Goroutines, Lockstep, Sharded} {
 		_, err := Run(g, func(v Process) int {
 			if v.ID() == 7 {
 				panic("kaboom at seven")
@@ -225,7 +374,7 @@ func TestPanicPropagates(t *testing.T) {
 // park); the original panic is still the one reported.
 func TestAbortWithRoundInDefer(t *testing.T) {
 	g := graph.Complete(8)
-	for _, e := range []Engine{Goroutines, Lockstep} {
+	for _, e := range []Engine{Goroutines, Lockstep, Sharded} {
 		_, err := Run(g, func(v Process) int {
 			defer func() {
 				for i := 0; i < 3; i++ {
@@ -262,7 +411,7 @@ func TestWrongOutboxLength(t *testing.T) {
 // error instead of a hang.
 func TestRoundCap(t *testing.T) {
 	g := graph.Cycle(5)
-	for _, e := range []Engine{Goroutines, Lockstep} {
+	for _, e := range []Engine{Goroutines, Lockstep, Sharded} {
 		_, err := Run(g, func(v Process) int {
 			for {
 				v.Round(nil)

@@ -1,0 +1,69 @@
+package dist
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// familyGraphs instantiates every generator family internal/graph exports,
+// small enough that the full engine matrix stays fast but irregular enough
+// (isolated vertices, skewed degrees, shuffled identifiers) to exercise the
+// delivery and accounting corners.
+func familyGraphs() map[string]*graph.Graph {
+	withIsolated := graph.NewBuilder(7)
+	if err := withIsolated.AddEdge(1, 4); err != nil {
+		panic(err)
+	}
+	return map[string]*graph.Graph{
+		"path":              graph.Path(17),
+		"cycle":             graph.Cycle(19),
+		"complete":          graph.Complete(12),
+		"completeBipartite": graph.CompleteBipartite(5, 9),
+		"star":              graph.Star(14),
+		"gnm":               graph.GNM(80, 300, 3),
+		"boundedDegree":     graph.RandomBoundedDegree(60, 6, 120, 4),
+		"regular":           graph.RandomRegular(48, 6, 5),
+		"geometric":         graph.Geometric(120, 0.15, 6),
+		"cliquePendants":    graph.CliquePlusPendants(9),
+		"powerOfCycle":      graph.PowerOfCycle(40, 5),
+		"grid":              graph.Grid(8, 7),
+		"torus":             graph.Torus(5, 6),
+		"hypercube":         graph.Hypercube(5),
+		"tree":              graph.RandomTree(40, 7),
+		"lineGraph":         graph.GNM(24, 80, 8).LineGraph(),
+		"hyperLineGraph":    graph.RandomHypergraph(30, 45, 3, 9).LineGraph(),
+		"targetDegree":      graph.TargetDegreeGNM(64, 8, 10),
+		"shuffledIDs":       graph.ShuffledIDs(graph.GNM(50, 150, 11), 12),
+		"builderIsolated":   withIsolated.Build(),
+	}
+}
+
+// TestEngineFamilyProperty is the cross-engine determinism property over the
+// whole generator zoo: the chatty algorithm (PRNG-driven budgets, varying
+// message sizes, early halts) must produce byte-identical Outputs and Stats
+// on every family, for every engine (including a multi-shard Sharded run),
+// for multiple seeds. It is the broad-coverage companion of the focused
+// TestEnginesAgree.
+func TestEngineFamilyProperty(t *testing.T) {
+	for name, g := range familyGraphs() {
+		for seed := int64(0); seed < 2; seed++ {
+			ref := runChatty(t, g, WithSeed(seed), WithEngine(Goroutines))
+			variants := map[string]*Result[[]int]{
+				"lockstep":  runChatty(t, g, WithSeed(seed), WithEngine(Lockstep)),
+				"sharded":   runChatty(t, g, WithSeed(seed), WithEngine(Sharded)),
+				"sharded-4": runChatty(t, g, WithSeed(seed), WithEngine(Sharded), WithShards(4)),
+			}
+			for vname, res := range variants {
+				if !reflect.DeepEqual(ref.Outputs, res.Outputs) {
+					t.Fatalf("%s seed %d: outputs differ: goroutines vs %s", name, seed, vname)
+				}
+				if ref.Stats != res.Stats {
+					t.Fatalf("%s seed %d: stats differ: goroutines %v vs %s %v",
+						name, seed, ref.Stats, vname, res.Stats)
+				}
+			}
+		}
+	}
+}

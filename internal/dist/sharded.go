@@ -1,0 +1,207 @@
+package dist
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// The Sharded engine partitions the vertex set into contiguous index ranges
+// (GOMAXPROCS of them by default, override with WithShards) and gives each
+// shard one logical worker:
+//
+//   - Release is a token chain. The scheduler links the round's active
+//     vertices of each shard into a list in index order and hands the first
+//     one a token; every vertex runs until it yields at Round, halts, or
+//     panics, then passes the token directly to its successor (the last one
+//     wakes the scheduler). Within a shard execution is sequential in index
+//     order — Lockstep semantics — while shards run concurrently; a vertex
+//     handoff costs one goroutine switch and no event-queue traffic.
+//   - Accounting is sender-side. A yielding vertex tallies its own staged
+//     outbox into its shard's Stats while it still holds the token, so the
+//     tally is race-free and the accounted multiset of messages is exactly
+//     the one deliver accounts for the other engines (dropped messages
+//     included). Shard tallies are merged into Result.Stats in shard index
+//     order at every round barrier.
+//   - Delivery is destination-sharded and pull-based. Each shard's worker
+//     walks its own vertices and gathers, for every port, the message the
+//     neighbor staged on the reverse port (graph.ReversePorts). Only the
+//     owning shard writes a vertex's inbox, so delivery parallelizes with
+//     no locks, and each inbox is written exactly once per round — the
+//     clear and the fill are one pass.
+//
+// Both phases are separated by barriers, so for a fixed graph, algorithm and
+// seed the engine produces byte-identical Outputs and Stats to Goroutines
+// and Lockstep regardless of the shard count (TestEnginesAgree,
+// TestEngineFamilyProperty).
+type shard[T any] struct {
+	index  int           // position in sched.shards
+	lo, hi int           // vertex index range [lo, hi)
+	done   chan struct{} // token chain completion, capacity 1
+	stats  Stats         // sender-side tally of the current round
+	err    error         // first panic of this shard, in chain order
+	first  *proc[T]      // head of the current round's token chain
+}
+
+// releaseSharded runs one round's release phase: chain the active vertices
+// of every shard, start all chains, wait for all of them to finish, then
+// surface any panic in shard index order. The per-shard message tallies are
+// merged later, by deliverSharded, so the Stats a round-cap error reports
+// exclude the capped round exactly as they do under the other engines.
+func (s *sched[T]) releaseSharded(active []*proc[T]) error {
+	for i := range s.shards {
+		s.shards[i].first = nil
+	}
+	// Link in reverse so each chain comes out in increasing index order.
+	for i := len(active) - 1; i >= 0; i-- {
+		p := active[i]
+		s.status[p.idx] = statusRunning
+		p.next = p.shard.first
+		p.shard.first = p
+	}
+	for i := range s.shards {
+		if sh := &s.shards[i]; sh.first != nil {
+			sh.first.resume <- struct{}{}
+		}
+	}
+	for i := range s.shards {
+		if s.shards[i].first != nil {
+			<-s.shards[i].done
+		}
+	}
+	for i := range s.shards {
+		if err := s.shards[i].err; err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// mergeShardStats folds the per-shard sender-side tallies of the round into
+// Result.Stats, in shard index order, and resets them.
+func (s *sched[T]) mergeShardStats() {
+	for i := range s.shards {
+		sh := &s.shards[i]
+		s.res.Stats.Bytes += sh.stats.Bytes
+		if sh.stats.MaxMessageBytes > s.res.Stats.MaxMessageBytes {
+			s.res.Stats.MaxMessageBytes = sh.stats.MaxMessageBytes
+		}
+		sh.stats = Stats{}
+	}
+}
+
+// yieldSharded is the Sharded counterpart of park for a vertex yielding at
+// Round: tally the staged outbox into the shard's round stats and bin each
+// message into the queue of its destination's shard — both in one pass over
+// the outbox, while it is cache-hot and the vertex holds the token — then
+// pass the token and block until the next release token (which is
+// lifeline.kill's if the run aborted in the meantime).
+func (p *proc[T]) yieldSharded(out [][]byte) {
+	if p.exiting {
+		runtime.Goexit()
+	}
+	if s := p.s; out != nil && s.queues != nil {
+		// Multi-shard run: tally and bin in one cache-hot pass. (With a
+		// single shard both jobs belong to the scatter delivery instead.)
+		st := &p.shard.stats
+		src := s.queues[p.shard.index]
+		nbrs := s.g.Neighbors(p.idx)
+		rp := s.g.ReversePorts(p.idx)
+		for port, msg := range out {
+			if msg == nil {
+				continue
+			}
+			st.Bytes += len(msg)
+			if len(msg) > st.MaxMessageBytes {
+				st.MaxMessageBytes = len(msg)
+			}
+			u := nbrs[port]
+			j := s.shardOf[u]
+			src[j] = append(src[j], qentry{dst: u, port: rp[port], msg: msg})
+		}
+	}
+	p.s.status[p.idx] = statusYielded
+	p.passToken()
+	<-p.resume
+	if p.s.life.dead.Load() {
+		p.exiting = true
+		runtime.Goexit()
+	}
+}
+
+// failSharded records a vertex panic against its shard (first in chain order
+// wins) and passes the token so the rest of the chain still completes the
+// round; the scheduler turns the recorded error into an abort at the next
+// round barrier.
+func (p *proc[T]) failSharded(panicked any) {
+	if p.shard.err == nil {
+		p.shard.err = fmt.Errorf("dist: vertex id %d panicked: %v", p.id, panicked)
+	}
+	p.s.status[p.idx] = statusDone
+	p.passToken()
+}
+
+// passToken wakes the successor in the round's chain, or reports the chain
+// complete. The send cannot block: the successor is parked (all chain
+// members are parked when the chain starts and run one at a time), and the
+// done channel has capacity 1 with exactly one completion per round.
+func (p *proc[T]) passToken() {
+	if p.next != nil {
+		p.next.resume <- struct{}{}
+	} else {
+		p.shard.done <- struct{}{}
+	}
+}
+
+// deliverSharded runs one round's delivery phase: every shard drains the
+// message queues addressed to its own vertices, in parallel when there are
+// multiple shards. Release-phase enqueues are published to all drain
+// workers by the chain-completion barrier, and drain writes are published
+// back by the WaitGroup, so the phase is race-free by construction.
+func (s *sched[T]) deliverSharded() {
+	s.mergeShardStats()
+	if len(s.shards) == 1 {
+		s.drainShard(0)
+		return
+	}
+	var wg sync.WaitGroup
+	for j := 1; j < len(s.shards); j++ {
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			s.drainShard(j)
+		}(j)
+	}
+	s.drainShard(0)
+	wg.Wait()
+}
+
+// drainShard clears the slots this shard's previous delivery filled, then
+// moves every queued message of the round into its destination inbox,
+// dropping those whose destination has halted (their bytes were already
+// tallied by the sender). Source queues are visited in shard index order,
+// and each queue holds its entries in chain (= vertex index) order, so the
+// drain is deterministic; the whole phase costs O(messages), not O(m).
+func (s *sched[T]) drainShard(j int) {
+	wl := s.written[j]
+	for _, sr := range wl {
+		s.procs[sr.idx].inbox[sr.port] = nil
+	}
+	wl = wl[:0]
+	for i := range s.shards {
+		queue := s.queues[i][j]
+		for _, e := range queue {
+			if s.status[e.dst] != statusYielded {
+				continue // halted this round or earlier: drop
+			}
+			d := s.procs[e.dst]
+			if d.inbox == nil {
+				d.inbox = make([][]byte, s.g.Deg(int(e.dst)))
+			}
+			d.inbox[e.port] = e.msg
+			wl = append(wl, slotRef{idx: e.dst, port: e.port})
+		}
+		s.queues[i][j] = queue[:0]
+	}
+	s.written[j] = wl
+}

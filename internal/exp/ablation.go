@@ -18,22 +18,22 @@ func init() {
 }
 
 // runAblation measures the cost of each design decision DESIGN.md calls out.
-func runAblation(w io.Writer) error {
-	if err := ablateLeafReduction(w); err != nil {
+func runAblation(w io.Writer, cfg Config) error {
+	if err := ablateLeafReduction(w, cfg); err != nil {
 		return err
 	}
-	if err := ablateMessageModes(w); err != nil {
+	if err := ablateMessageModes(w, cfg); err != nil {
 		return err
 	}
-	if err := ablateMultiClass(w); err != nil {
+	if err := ablateMultiClass(w, cfg); err != nil {
 		return err
 	}
-	return ablateWindow(w)
+	return ablateWindow(w, cfg)
 }
 
 // ablateLeafReduction: substitution N1 — Kuhn–Wattenhofer block merging vs
 // naive one-class-per-round at the Legal-Color leaf.
-func ablateLeafReduction(w io.Writer) error {
+func ablateLeafReduction(w io.Writer, cfg Config) error {
 	g := graph.RandomRegular(128, 16, 7)
 	delta := g.MaxDegree()
 	steps := linial.LegalSchedule(g.N(), delta)
@@ -49,7 +49,7 @@ func ablateLeafReduction(w io.Writer) error {
 				return reduce.KWReduceColors(v, c, k, delta+1, nil)
 			}
 			return reduce.ReduceColors(v, c, k, delta+1, nil)
-		})
+		}, cfg.opts()...)
 		if err != nil {
 			return err
 		}
@@ -68,7 +68,7 @@ func ablateLeafReduction(w io.Writer) error {
 }
 
 // ablateMessageModes: §5 wide vs short on the standalone edge Alg 1.
-func ablateMessageModes(w io.Writer) error {
+func ablateMessageModes(w io.Writer, cfg Config) error {
 	g := graph.TargetDegreeGNM(256, 48, 8)
 	t := Table{
 		Title:  "Ablation A2 (§5): ψ-window message modes, b=1 p=12",
@@ -78,7 +78,7 @@ func ablateMessageModes(w io.Writer) error {
 		name string
 		mode edgecolor.MsgMode
 	}{{"wide", edgecolor.Wide}, {"short", edgecolor.Short}} {
-		res, err := edgecolor.DefectiveEdgeColoring(g, 1, 12, tc.mode)
+		res, err := edgecolor.DefectiveEdgeColoring(g, 1, 12, tc.mode, cfg.opts()...)
 		if err != nil {
 			return err
 		}
@@ -89,7 +89,7 @@ func ablateMessageModes(w io.Writer) error {
 }
 
 // ablateMultiClass: the §5 leaf property — many classes, same rounds.
-func ablateMultiClass(w io.Writer) error {
+func ablateMultiClass(w io.Writer, cfg Config) error {
 	g := graph.RandomRegular(96, 12, 9)
 	degBound := g.MaxDegree()
 	t := Table{
@@ -103,7 +103,7 @@ func ablateMultiClass(w io.Writer) error {
 				classOf[p] = (v.ID()+v.NeighborID(p))%classes + 1
 			}
 			return panconesi.EdgeColorMulti(v, classOf, degBound)
-		})
+		}, cfg.opts()...)
 		if err != nil {
 			return err
 		}
@@ -115,7 +115,7 @@ func ablateMultiClass(w io.Writer) error {
 
 // ablateWindow: Lemma 3.2 — event-driven Alg 1 finishes before the fixed
 // #ϕ-palette window that the lockstep recursion pays.
-func ablateWindow(w io.Writer) error {
+func ablateWindow(w io.Writer, cfg Config) error {
 	g := graph.RandomRegular(128, 12, 10).LineGraph()
 	delta := g.MaxDegree()
 	b, p := 2, 4
@@ -128,7 +128,7 @@ func ablateWindow(w io.Writer) error {
 	for _, fixed := range []bool{true, false} {
 		res, err := dist.Run(g, func(v dist.Process) int {
 			return core.DefectiveColorStep(v, nil, p, phiSteps, v.ID(), g.N(), fixed).Psi
-		})
+		}, cfg.opts()...)
 		if err != nil {
 			return err
 		}

@@ -26,8 +26,9 @@ func init() {
 // runDefectProduct is the paper's core quantitative claim (§1.3): Procedure
 // Defective-Color achieves defect m and χ colors with m·χ = O(Δ) on
 // bounded-NI graphs, whereas the prior general-graph routine [19] gives
-// O(Δ/p)-defective p²-colorings, i.e. m·χ = O(Δ·p).
-func runDefectProduct(w io.Writer) error {
+// O(Δ/p)-defective p²-colorings, i.e. m·χ = O(Δ·p). The p sweep runs on the
+// worker pool.
+func runDefectProduct(w io.Writer, cfg Config) error {
 	t := Table{
 		Title: "E1: defect×colors product — Alg 1 (bounded NI) vs Kuhn [19] (general)",
 		Note: "Graph: line graph (c=2). Alg 1 run with b=2 (Cor 3.8: defect ≤ (c+ε)Δ/p+c).\n" +
@@ -36,23 +37,29 @@ func runDefectProduct(w io.Writer) error {
 	}
 	g := graph.RandomRegular(512, 20, 41).LineGraph()
 	delta := g.MaxDegree()
+	var ps []int
 	for _, p := range []int{2, 4, 8} {
-		if 2*p > delta {
-			continue
+		if 2*p <= delta {
+			ps = append(ps, p)
 		}
-		res, err := core.DefectiveColoring(g, 2, 2, p)
+	}
+	if err := ParallelRows(cfg, &t, len(ps), func(i int) ([]interface{}, error) {
+		p := ps[i]
+		res, err := core.DefectiveColoring(g, 2, 2, p, cfg.opts()...)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		d1 := graph.VertexDefect(g, res.Outputs)
 		c1 := graph.MaxColor(res.Outputs)
-		kres, err := defective.VertexColoring(g, p)
+		kres, err := defective.VertexColoring(g, p, cfg.opts()...)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		d2 := graph.VertexDefect(g, kres.Outputs)
 		c2 := graph.MaxColor(kres.Outputs)
-		t.Add(delta, p, d1, c1, d1*c1, d2, c2, d2*c2)
+		return []interface{}{delta, p, d1, c1, d1 * c1, d2, c2, d2 * c2}, nil
+	}); err != nil {
+		return err
 	}
 	t.Render(w)
 	return nil
@@ -62,29 +69,32 @@ func runDefectProduct(w io.Writer) error {
 // graphs (I(G)=2, Δ = 2k) for a fixed practical plan: the per-level window
 // is constant, so rounds grow with the recursion depth ~ log Δ
 // (Theorem 4.6's shape), far below the Θ(Δ) of the greedy-style baselines.
-func runVertexScaling(w io.Writer) error {
+func runVertexScaling(w io.Writer, cfg Config) error {
 	t := Table{
 		Title:  "E2: Legal-Color on bounded-NI graphs (C_n^k, c=2), rounds vs Δ",
 		Note:   "plan = AutoPlan(b=2, p=6, vertex); aux mode (§4.2). depth grows ~ log Δ.",
 		Header: []string{"n", "Δ", "depth", "rounds", "colors", "ϑ(0) bound", "legal"},
 	}
-	for _, k := range []int{4, 8, 16, 32} {
-		n := 600
-		g := graph.PowerOfCycle(n, k)
+	ks := []int{4, 8, 16, 32}
+	if err := ParallelRows(cfg, &t, len(ks), func(i int) ([]interface{}, error) {
+		const n = 600
+		g := graph.PowerOfCycle(n, ks[i])
 		pl, err := core.AutoPlan(g.MaxDegree(), 2, 2, 6, false)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		res, err := core.LegalColoring(g, pl, core.StartAux)
+		res, err := core.LegalColoring(g, pl, core.StartAux, cfg.opts()...)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		legal := "ok"
 		if err := graph.CheckVertexColoring(g, res.Outputs); err != nil {
 			legal = "ILLEGAL"
 		}
-		t.Add(n, g.MaxDegree(), pl.Depth(), res.Stats.Rounds,
-			graph.CountColors(res.Outputs), pl.TotalPalette(), legal)
+		return []interface{}{n, g.MaxDegree(), pl.Depth(), res.Stats.Rounds,
+			graph.CountColors(res.Outputs), pl.TotalPalette(), legal}, nil
+	}); err != nil {
+		return err
 	}
 	t.Render(w)
 	return nil
@@ -95,19 +105,19 @@ func runVertexScaling(w io.Writer) error {
 // and the line-graph simulation (O(Δ log n) bits). The wide/short contrast
 // is measured on the standalone edge Defective-Color (where the ψ-window
 // messages dominate) and on the full recursion.
-func runMessageSize(w io.Writer) error {
+func runMessageSize(w io.Writer, cfg Config) error {
 	g := graph.TargetDegreeGNM(384, 48, 51)
 	delta := g.MaxDegree()
 	t := Table{
 		Title:  fmt.Sprintf("E3: message-size classes (Thm 5.5), n=384, Δ=%d", delta),
 		Header: []string{"variant", "rounds", "maxMsgB", "msg class"},
 	}
-	dw, err := edgecolor.DefectiveEdgeColoring(g, 1, 12, edgecolor.Wide)
+	dw, err := edgecolor.DefectiveEdgeColoring(g, 1, 12, edgecolor.Wide, cfg.opts()...)
 	if err != nil {
 		return err
 	}
 	t.Add("Alg1-edge, wide", dw.Stats.Rounds, dw.Stats.MaxMessageBytes, "O(p·logΔ)")
-	ds, err := edgecolor.DefectiveEdgeColoring(g, 1, 12, edgecolor.Short)
+	ds, err := edgecolor.DefectiveEdgeColoring(g, 1, 12, edgecolor.Short, cfg.opts()...)
 	if err != nil {
 		return err
 	}
@@ -117,12 +127,12 @@ func runMessageSize(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	resW, err := edgecolor.LegalEdgeColoring(g, pl, edgecolor.Wide)
+	resW, err := edgecolor.LegalEdgeColoring(g, pl, edgecolor.Wide, cfg.opts()...)
 	if err != nil {
 		return err
 	}
 	t.Add("Legal-Color-edge, wide", resW.Stats.Rounds, resW.Stats.MaxMessageBytes, "O(p·logΔ + λ·logΔ leaf)")
-	resS, err := edgecolor.LegalEdgeColoring(g, pl, edgecolor.Short)
+	resS, err := edgecolor.LegalEdgeColoring(g, pl, edgecolor.Short, cfg.opts()...)
 	if err != nil {
 		return err
 	}
@@ -133,7 +143,7 @@ func runMessageSize(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sim, err := edgecolor.ViaLineGraphSimulation(g, plV, core.StartAux)
+	sim, err := edgecolor.ViaLineGraphSimulation(g, plV, core.StartAux, cfg.opts()...)
 	if err != nil {
 		return err
 	}
@@ -143,22 +153,25 @@ func runMessageSize(w io.Writer) error {
 }
 
 // runCor54 validates Corollary 5.4 exactly: one communication round, palette
-// p'², measured defect at most 4⌈Δ/p'⌉.
-func runCor54(w io.Writer) error {
+// p'², measured defect at most 4⌈Δ/p'⌉. The p' sweep runs on the worker
+// pool.
+func runCor54(w io.Writer, cfg Config) error {
 	g := graph.TargetDegreeGNM(512, 48, 61)
 	delta := g.MaxDegree()
 	t := Table{
 		Title:  fmt.Sprintf("E4: Kuhn's O(1)-round defective edge coloring (Cor 5.4), Δ=%d", delta),
 		Header: []string{"p'", "rounds", "colors", "p'^2", "defect", "4⌈Δ/p'⌉", "within bound"},
 	}
-	for _, pp := range []int{2, 4, 8, 16, 32} {
-		res, err := defective.EdgeColoring(g, pp)
+	pps := []int{2, 4, 8, 16, 32}
+	if err := ParallelRows(cfg, &t, len(pps), func(i int) ([]interface{}, error) {
+		pp := pps[i]
+		res, err := defective.EdgeColoring(g, pp, cfg.opts()...)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		colors, err := graph.MergePortColors(g, res.Outputs)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		d := graph.EdgeDefect(g, colors)
 		bound := 4 * ((delta + pp - 1) / pp)
@@ -166,7 +179,9 @@ func runCor54(w io.Writer) error {
 		if d > bound {
 			ok = "NO"
 		}
-		t.Add(pp, res.Stats.Rounds, graph.CountColors(colors), pp*pp, d, bound, ok)
+		return []interface{}{pp, res.Stats.Rounds, graph.CountColors(colors), pp * pp, d, bound, ok}, nil
+	}); err != nil {
+		return err
 	}
 	t.Render(w)
 	return nil
@@ -174,22 +189,24 @@ func runCor54(w io.Writer) error {
 
 // runCor62 measures the randomized edge coloring across n: rounds stay in
 // the poly-log-log regime claimed by Corollary 6.2 while colors track
-// O(Δ·log^η n).
-func runCor62(w io.Writer) error {
+// O(Δ·log^η n). Each n is one job on the worker pool.
+func runCor62(w io.Writer, cfg Config) error {
 	t := Table{
 		Title:  "E5: randomized edge coloring (Cor 6.2), Δ ≈ 4·ln n",
 		Header: []string{"n", "Δ", "classes", "rounds", "colors", "palette bound", "legal"},
 	}
-	for _, n := range []int{256, 1024, 4096} {
+	sizes := []int{256, 1024, 4096}
+	if err := ParallelRows(cfg, &t, len(sizes), func(i int) ([]interface{}, error) {
+		n := sizes[i]
 		delta := int(4 * math.Log(float64(n)))
 		g := graph.TargetDegreeGNM(n, delta, int64(n))
-		res, err := edgecolor.RandomizedEdgeColoring(g, 2, 6, 8, edgecolor.Wide, dist.WithSeed(11))
+		res, err := edgecolor.RandomizedEdgeColoring(g, 2, 6, 8, edgecolor.Wide, cfg.opts(dist.WithSeed(11))...)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		colors, err := graph.MergePortColors(g, res.Outputs)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		legal := "ok"
 		if err := graph.CheckEdgeColoring(g, colors); err != nil {
@@ -197,37 +214,44 @@ func runCor62(w io.Writer) error {
 		}
 		bound, err := edgecolor.RandomizedPaletteBound(g, 2, 6, 8)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		deltaL := 2*g.MaxDegree() - 2
 		classes := int(math.Ceil(float64(deltaL) / math.Max(math.Log(float64(n)), 1)))
-		t.Add(n, g.MaxDegree(), classes, res.Stats.Rounds,
-			graph.CountColors(colors), bound, legal)
+		return []interface{}{n, g.MaxDegree(), classes, res.Stats.Rounds,
+			graph.CountColors(colors), bound, legal}, nil
+	}); err != nil {
+		return err
 	}
 	t.Render(w)
 	return nil
 }
 
 // runTradeoff sweeps the Corollary 6.3 curve: smaller class degree (larger
-// g(Δ)) means fewer recursion rounds but quadratically more colors.
-func runTradeoff(w io.Writer) error {
+// g(Δ)) means fewer recursion rounds but quadratically more colors. The
+// class-degree sweep runs on the worker pool.
+func runTradeoff(w io.Writer, cfg Config) error {
 	g := graph.TargetDegreeGNM(384, 64, 71)
 	delta := g.MaxDegree()
 	t := Table{
 		Title:  fmt.Sprintf("E6: tradeoff (Cor 6.3), Δ=%d — classDeg q vs colors/rounds", delta),
 		Header: []string{"classDeg q", "p'", "rounds", "colors", "palette bound", "legal"},
 	}
+	var qs []int
 	for _, q := range []int{delta, delta / 2, delta / 4, delta / 8} {
-		if q < 8 {
-			continue
+		if q >= 8 {
+			qs = append(qs, q)
 		}
-		res, err := edgecolor.TradeoffEdgeColoring(g, 2, 6, q, edgecolor.Wide)
+	}
+	if err := ParallelRows(cfg, &t, len(qs), func(i int) ([]interface{}, error) {
+		q := qs[i]
+		res, err := edgecolor.TradeoffEdgeColoring(g, 2, 6, q, edgecolor.Wide, cfg.opts()...)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		colors, err := graph.MergePortColors(g, res.Outputs)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		legal := "ok"
 		if err := graph.CheckEdgeColoring(g, colors); err != nil {
@@ -235,10 +259,12 @@ func runTradeoff(w io.Writer) error {
 		}
 		bound, err := edgecolor.TradeoffPaletteBound(g, 2, 6, q)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		pp := (4*delta + q - 1) / q
-		t.Add(q, pp, res.Stats.Rounds, graph.CountColors(colors), bound, legal)
+		return []interface{}{q, pp, res.Stats.Rounds, graph.CountColors(colors), bound, legal}, nil
+	}); err != nil {
+		return err
 	}
 	t.Render(w)
 	return nil
@@ -246,7 +272,7 @@ func runTradeoff(w io.Writer) error {
 
 // runLineGraphSim contrasts the same coloring job done by the direct §5 edge
 // variant against the Lemma 5.2 line-graph simulation.
-func runLineGraphSim(w io.Writer) error {
+func runLineGraphSim(w io.Writer, cfg Config) error {
 	g := graph.TargetDegreeGNM(256, 24, 81)
 	t := Table{
 		Title:  "E7: direct edge variant vs L(G) simulation (Lemma 5.2)",
@@ -256,7 +282,7 @@ func runLineGraphSim(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	direct, err := edgecolor.LegalEdgeColoring(g, plE, edgecolor.Wide)
+	direct, err := edgecolor.LegalEdgeColoring(g, plE, edgecolor.Wide, cfg.opts()...)
 	if err != nil {
 		return err
 	}
@@ -271,7 +297,7 @@ func runLineGraphSim(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	sim, err := edgecolor.ViaLineGraphSimulation(g, plV, core.StartAux)
+	sim, err := edgecolor.ViaLineGraphSimulation(g, plV, core.StartAux, cfg.opts()...)
 	if err != nil {
 		return err
 	}
@@ -279,7 +305,7 @@ func runLineGraphSim(w io.Writer) error {
 		graph.CountColors(sim.EdgeColors))
 	t.Add("native on L(G)", sim.Native.Rounds, sim.Native.MaxMessageBytes,
 		graph.CountColors(sim.EdgeColors))
-	trueSim, err := edgecolor.TrueSimulation(g, plV, core.StartAux)
+	trueSim, err := edgecolor.TrueSimulation(g, plV, core.StartAux, cfg.opts()...)
 	if err != nil {
 		return err
 	}
@@ -294,8 +320,9 @@ func runLineGraphSim(w io.Writer) error {
 
 // runNI certifies the structural facts of §1.2 and Lemma 5.1 on generated
 // families: line graphs have I ≤ 2, r-hypergraph line graphs have I ≤ r, and
-// the Figure-1 family has I = 2 with growth Ω(Δ).
-func runNI(w io.Writer) error {
+// the Figure-1 family has I = 2 with growth Ω(Δ). No simulator runs are
+// involved — the invariant computation itself is the experiment.
+func runNI(w io.Writer, cfg Config) error {
 	t := Table{
 		Title:  "E8: neighborhood independence of the paper's families (exact)",
 		Header: []string{"family", "n", "Δ", "I(G)", "claimed bound"},

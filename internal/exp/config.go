@@ -1,0 +1,100 @@
+package exp
+
+import (
+	"runtime"
+	"sync"
+
+	"repro/internal/dist"
+)
+
+// Config controls how experiments execute. The zero value runs the default
+// Goroutines engine with a GOMAXPROCS-wide pool for the row grids; set
+// Workers to 1 for the fully serial execution the harness used before the
+// pool existed. Artifacts are byte-identical under every Config.
+type Config struct {
+	// Engine selects the dist scheduler every simulator run uses. All
+	// engines produce byte-identical Outputs and Stats, so experiment
+	// artifacts do not depend on this choice — only wall-clock does.
+	Engine dist.Engine
+	// Workers bounds the worker pool that executes independent grid cells
+	// (table rows × graph families × sizes). <= 0 means GOMAXPROCS.
+	// Workers == 1 reproduces the old fully serial execution.
+	Workers int
+}
+
+// EffectiveWorkers resolves the pool size Workers selects (GOMAXPROCS when
+// unset); exported for callers that build their own pools on top of the
+// same knob, like cmd/repro's experiment-level fan-out.
+func (c Config) EffectiveWorkers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// opts prefixes the engine selection onto extra per-run options.
+func (c Config) opts(extra ...dist.Option) []dist.Option {
+	return append([]dist.Option{dist.WithEngine(c.Engine)}, extra...)
+}
+
+// Parallel runs n independent jobs on a bounded worker pool and returns
+// their results in index order — the aggregation stays deterministic no
+// matter how the pool interleaves. The first error in index order wins (the
+// same error the serial loop would have reported); later results are still
+// computed but discarded. With one worker (or one job) it degenerates to
+// the plain serial loop, goroutine-free.
+func Parallel[T any](cfg Config, n int, job func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, nil
+	}
+	if w := cfg.EffectiveWorkers(); w > 1 && n > 1 {
+		if w > n {
+			w = n
+		}
+		errs := make([]error, n)
+		next := make(chan int)
+		var wg sync.WaitGroup
+		for k := 0; k < w; k++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := range next {
+					out[i], errs[i] = job(i)
+				}
+			}()
+		}
+		for i := 0; i < n; i++ {
+			next <- i
+		}
+		close(next)
+		wg.Wait()
+		for _, err := range errs {
+			if err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+	for i := 0; i < n; i++ {
+		var err error
+		if out[i], err = job(i); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ParallelRows runs n independent row jobs on the pool and appends every
+// produced row to t in index order — the shared epilogue of the sweep-style
+// experiments.
+func ParallelRows(cfg Config, t *Table, n int, job func(i int) ([]interface{}, error)) error {
+	rows, err := Parallel(cfg, n, job)
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		t.Add(row...)
+	}
+	return nil
+}

@@ -2,8 +2,11 @@ package exp
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
+
+	"repro/internal/dist"
 )
 
 func TestTableRender(t *testing.T) {
@@ -62,7 +65,7 @@ func TestFastExperimentsRun(t *testing.T) {
 				t.Fatalf("missing %q", name)
 			}
 			var buf bytes.Buffer
-			if err := e.Run(&buf); err != nil {
+			if err := e.Run(&buf, Config{}); err != nil {
 				t.Fatal(err)
 			}
 			if !strings.Contains(buf.String(), "==") {
@@ -72,5 +75,66 @@ func TestFastExperimentsRun(t *testing.T) {
 				t.Fatalf("experiment reported a violated bound:\n%s", buf.String())
 			}
 		})
+	}
+}
+
+// TestArtifactsConfigIndependent pins the harness determinism contract: the
+// rendered artifact of an experiment is byte-identical whether the grid runs
+// serially or on a wide worker pool, and whichever engine executes the
+// simulator runs.
+func TestArtifactsConfigIndependent(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are not short")
+	}
+	for _, name := range []string{"fig1", "cor54", "defectproduct"} {
+		e, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("missing %q", name)
+		}
+		var ref bytes.Buffer
+		if err := e.Run(&ref, Config{Workers: 1, Engine: dist.Goroutines}); err != nil {
+			t.Fatal(err)
+		}
+		for _, cfg := range []Config{
+			{Workers: 8, Engine: dist.Goroutines},
+			{Workers: 1, Engine: dist.Sharded},
+			{Workers: 8, Engine: dist.Sharded},
+			{Workers: 3, Engine: dist.Lockstep},
+		} {
+			var got bytes.Buffer
+			if err := e.Run(&got, cfg); err != nil {
+				t.Fatalf("%s %+v: %v", name, cfg, err)
+			}
+			if got.String() != ref.String() {
+				t.Fatalf("%s: artifact differs under %+v", name, cfg)
+			}
+		}
+	}
+}
+
+// TestParallelHelper pins the Parallel contract: index-ordered results and
+// first-error-by-index, independent of pool width.
+func TestParallelHelper(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		got, err := Parallel(Config{Workers: workers}, 9, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+		_, err = Parallel(Config{Workers: workers}, 9, func(i int) (int, error) {
+			if i >= 4 {
+				return 0, fmt.Errorf("boom %d", i)
+			}
+			return i, nil
+		})
+		if err == nil || err.Error() != "boom 4" {
+			t.Fatalf("workers=%d: err = %v, want boom 4 (first in index order)", workers, err)
+		}
 	}
 }

@@ -21,7 +21,7 @@ func init() {
 // private pendant. It certifies I(G)=2 exactly, exhibits Ω(Δ) independent
 // vertices at distance 2 (unbounded growth, so growth-bounded algorithms
 // like [28] do not apply), and colors the graph with Legal-Color under c=2.
-func runFig1(w io.Writer) error {
+func runFig1(w io.Writer, cfg Config) error {
 	t := Table{
 		Title:  "Figure 1: G = K_k + pendants (n = 2k)",
 		Note:   "I(G) is exact (branch & bound); growth@2 = independent set within distance 2 of a clique vertex.",
@@ -35,7 +35,7 @@ func runFig1(w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		res, err := core.LegalColoring(g, pl, core.StartAux)
+		res, err := core.LegalColoring(g, pl, core.StartAux, cfg.opts()...)
 		if err != nil {
 			return err
 		}
@@ -52,7 +52,7 @@ func runFig1(w io.Writer) error {
 // runFig2 demonstrates Lemma 3.4 (the process of Figure 2): orient edges by
 // identifier, color by waiting for out-neighbors; palette ≤ out-degree+1 and
 // makespan = longest directed path + 1.
-func runFig2(w io.Writer) error {
+func runFig2(w io.Writer, cfg Config) error {
 	t := Table{
 		Title:  "Figure 2 / Lemma 3.4: coloring along an acyclic orientation",
 		Header: []string{"graph", "out-deg d", "colors", "d+1", "rounds", "longest-path+1"},
@@ -74,7 +74,7 @@ func runFig2(w io.Writer) error {
 				isOut[p] = v.NeighborID(p) < v.ID()
 			}
 			return reduce.ColorByOrientation(v, isOut, d)
-		})
+		}, cfg.opts()...)
 		if err != nil {
 			return err
 		}
@@ -93,7 +93,7 @@ func runFig2(w io.Writer) error {
 // ϕ-defect bound, and the ψ-window — the quantities Figure 3 annotates on
 // the tree nodes (Lemma 4.4 proves uniformity across each level, which the
 // level-synchronous implementation relies on).
-func runFig3(w io.Writer) error {
+func runFig3(w io.Writer, cfg Config) error {
 	g := graph.TargetDegreeGNM(512, 48, 33)
 	pl, err := core.AutoPlan(g.MaxDegree(), 2, 1, 12, true)
 	if err != nil {
@@ -121,7 +121,7 @@ func runFig3(w io.Writer) error {
 	t.Render(w)
 
 	// Run it and confirm the promised totals.
-	res, err := edgecolor.LegalEdgeColoring(g, pl, edgecolor.Wide)
+	res, err := edgecolor.LegalEdgeColoring(g, pl, edgecolor.Wide, cfg.opts()...)
 	if err != nil {
 		return err
 	}

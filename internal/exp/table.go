@@ -77,16 +77,19 @@ func pad(s string, w int) string {
 	return s + strings.Repeat(" ", w-len(s))
 }
 
-// Experiment is a named, runnable experiment.
+// Experiment is a named, runnable experiment. Run renders the experiment's
+// tables to w under the given execution Config; the artifact bytes are
+// independent of the Config (engine choice and grid parallelism change
+// wall-clock only).
 type Experiment struct {
 	Name string
 	Desc string
-	Run  func(w io.Writer) error
+	Run  func(w io.Writer, cfg Config) error
 }
 
 var registry = map[string]Experiment{}
 
-func register(name, desc string, run func(w io.Writer) error) {
+func register(name, desc string, run func(w io.Writer, cfg Config) error) {
 	registry[name] = Experiment{Name: name, Desc: desc, Run: run}
 }
 

@@ -28,8 +28,8 @@ type edgeRun struct {
 	comment string
 }
 
-func runPR(g *graph.Graph) (edgeRun, error) {
-	res, err := panconesi.EdgeColoring(g)
+func runPR(g *graph.Graph, cfg Config) (edgeRun, error) {
+	res, err := panconesi.EdgeColoring(g, cfg.opts()...)
 	if err != nil {
 		return edgeRun{}, err
 	}
@@ -45,12 +45,12 @@ func runPR(g *graph.Graph) (edgeRun, error) {
 	}, nil
 }
 
-func runBE(g *graph.Graph, b, p int, mode edgecolor.MsgMode) (edgeRun, error) {
+func runBE(g *graph.Graph, cfg Config, b, p int, mode edgecolor.MsgMode) (edgeRun, error) {
 	pl, err := core.AutoPlan(g.MaxDegree(), 2, b, p, true)
 	if err != nil {
 		return edgeRun{}, err
 	}
-	res, err := edgecolor.LegalEdgeColoring(g, pl, mode)
+	res, err := edgecolor.LegalEdgeColoring(g, pl, mode, cfg.opts()...)
 	if err != nil {
 		return edgeRun{}, err
 	}
@@ -67,10 +67,10 @@ func runBE(g *graph.Graph, b, p int, mode edgecolor.MsgMode) (edgeRun, error) {
 	}, nil
 }
 
-func runHPartitionOnLineGraph(g *graph.Graph) (edgeRun, error) {
+func runHPartitionOnLineGraph(g *graph.Graph, cfg Config) (edgeRun, error) {
 	lg := g.LineGraph()
 	theta := baseline.DefaultTheta(lg)
-	res, err := baseline.HPartitionColoring(lg, theta)
+	res, err := baseline.HPartitionColoring(lg, theta, cfg.opts()...)
 	if err != nil {
 		return edgeRun{}, err
 	}
@@ -83,10 +83,10 @@ func runHPartitionOnLineGraph(g *graph.Graph) (edgeRun, error) {
 	}, nil
 }
 
-func runArbOnLineGraph(g *graph.Graph) (edgeRun, error) {
+func runArbOnLineGraph(g *graph.Graph, cfg Config) (edgeRun, error) {
 	lg := g.LineGraph()
 	theta := baseline.DefaultTheta(lg)
-	res, err := baseline.ArbColoring(lg, theta)
+	res, err := baseline.ArbColoring(lg, theta, cfg.opts()...)
 	if err != nil {
 		return edgeRun{}, err
 	}
@@ -109,8 +109,10 @@ func fmtRun(r edgeRun) []interface{} {
 // runTable1 measures every deterministic contender on random graphs across a
 // Δ sweep, then prints the analytic round-bound crossover for large Δ
 // (EXPERIMENTS.md discusses why the measured regime cannot reach the
-// asymptotic crossovers: the paper's constants are galactic).
-func runTable1(w io.Writer) error {
+// asymptotic crossovers: the paper's constants are galactic). The Δ rows of
+// the sweep are independent, so they execute on the worker pool and are
+// appended in sweep order.
+func runTable1(w io.Writer, cfg Config) error {
 	const n = 512
 	measured := Table{
 		Title: "Table 1 (measured): deterministic edge coloring, n=512, random graphs",
@@ -119,32 +121,44 @@ func runTable1(w io.Writer) error {
 			"(HP: fast, θ²·log n colors; Arb: θ+1 colors, Θ(θ·log n) rounds).",
 		Header: []string{"Δ", "alg", "colors", "rounds", "maxMsgB", "legal"},
 	}
-	for _, delta := range []int{8, 16, 32, 64} {
+	deltas := []int{8, 16, 32, 64}
+	rows, err := Parallel(cfg, len(deltas), func(i int) ([][]interface{}, error) {
+		delta := deltas[i]
 		g := graph.TargetDegreeGNM(n, delta, int64(delta))
 		d := g.MaxDegree()
-		pr, err := runPR(g)
+		var out [][]interface{}
+		pr, err := runPR(g, cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		measured.Add(append([]interface{}{d, "PR(2Δ-1)"}, fmtRun(pr)...)...)
-		be, err := runBE(g, 1, 12, edgecolor.Wide)
+		out = append(out, append([]interface{}{d, "PR(2Δ-1)"}, fmtRun(pr)...))
+		be, err := runBE(g, cfg, 1, 12, edgecolor.Wide)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		measured.Add(append([]interface{}{d, "BE(b=1,p=12)"}, fmtRun(be)...)...)
+		out = append(out, append([]interface{}{d, "BE(b=1,p=12)"}, fmtRun(be)...))
 		if d <= 32 {
-			hp, err := runHPartitionOnLineGraph(g)
+			hp, err := runHPartitionOnLineGraph(g, cfg)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			measured.Add(append([]interface{}{d, "HP+L(G)"}, fmtRun(hp)...)...)
+			out = append(out, append([]interface{}{d, "HP+L(G)"}, fmtRun(hp)...))
 		}
 		if d <= 16 {
-			arb, err := runArbOnLineGraph(g)
+			arb, err := runArbOnLineGraph(g, cfg)
 			if err != nil {
-				return err
+				return nil, err
 			}
-			measured.Add(append([]interface{}{d, "Arb+L(G)"}, fmtRun(arb)...)...)
+			out = append(out, append([]interface{}{d, "Arb+L(G)"}, fmtRun(arb)...))
+		}
+		return out, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, group := range rows {
+		for _, row := range group {
+			measured.Add(row...)
 		}
 	}
 	measured.Render(w)
@@ -176,45 +190,50 @@ func runTable1(w io.Writer) error {
 // runTable2 compares the deterministic algorithms against the randomized
 // trial coloring in the small-Δ regime (Δ ≤ log^{1-δ} n): deterministic
 // rounds stay flat as n grows while the randomized baseline pays Θ(log n).
-func runTable2(w io.Writer) error {
+// Each n is one independent job on the worker pool.
+func runTable2(w io.Writer, cfg Config) error {
 	t := Table{
 		Title: "Table 2: small Δ=8, growing n — deterministic (flat) vs randomized (grows with log n)",
 		Note: "Rand = trial edge coloring (stand-in for [29],[18], see DESIGN N2), median-ish single seed;\n" +
 			"PR and BE are deterministic. Rounds are measured in the simulator.",
 		Header: []string{"n", "Δ", "PR rounds", "BE rounds", "Rand rounds", "PR colors", "BE colors", "Rand colors"},
 	}
-	for _, n := range []int{256, 1024, 4096, 16384, 65536} {
+	sizes := []int{256, 1024, 4096, 16384, 65536}
+	if err := ParallelRows(cfg, &t, len(sizes), func(i int) ([]interface{}, error) {
+		n := sizes[i]
 		g := graph.RandomRegular(n, 8, int64(n))
 		d := g.MaxDegree()
-		pr, err := runPR(g)
+		pr, err := runPR(g, cfg)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		be, err := runBE(g, 2, 6, edgecolor.Wide)
+		be, err := runBE(g, cfg, 2, 6, edgecolor.Wide)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		// Randomized rounds are noisy; report the median of three seeds.
 		var randRounds []int
 		randColors := 0
 		for seed := int64(7); seed < 10; seed++ {
-			res, err := baseline.RandomizedTrialEdgeColoring(g, dist.WithSeed(seed))
+			res, err := baseline.RandomizedTrialEdgeColoring(g, cfg.opts(dist.WithSeed(seed))...)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			colors, err := graph.MergePortColors(g, res.Outputs)
 			if err != nil {
-				return err
+				return nil, err
 			}
 			if err := graph.CheckEdgeColoring(g, colors); err != nil {
-				return err
+				return nil, err
 			}
 			randRounds = append(randRounds, res.Stats.Rounds)
 			randColors = graph.CountColors(colors)
 		}
 		sort.Ints(randRounds)
-		t.Add(n, d, pr.rounds, be.rounds, randRounds[1],
-			pr.colors, be.colors, randColors)
+		return []interface{}{n, d, pr.rounds, be.rounds, randRounds[1],
+			pr.colors, be.colors, randColors}, nil
+	}); err != nil {
+		return err
 	}
 	t.Render(w)
 	return nil

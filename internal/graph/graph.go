@@ -27,14 +27,25 @@ type Edge struct {
 
 // Graph is an immutable undirected simple graph.
 //
+// Adjacency is stored in CSR (compressed sparse row) form: one flat
+// neighbor array sliced per vertex by an offset table, with parallel flat
+// arrays for incident edge ids and reverse ports. The flat layout keeps the
+// whole adjacency in three contiguous allocations (cache-friendly for the
+// simulator's per-round delivery sweeps) and lets reverse ports — the port a
+// vertex occupies in each neighbor's list — be precomputed once at build
+// time instead of rediscovered by every run.
+//
 // The zero value is the empty graph with no vertices. Use Builder to
 // construct non-trivial graphs.
 type Graph struct {
-	n     int
-	adj   [][]int32 // adj[v] lists neighbor indices in increasing order
-	eids  [][]int32 // eids[v][i] is the edge id of (v, adj[v][i])
-	edges []Edge    // edges[id] with U < V
-	ids   []int     // distinct vertex identifiers, ids[v] in {1..n}
+	n      int
+	off    []int32 // len n+1; vertex v owns slots off[v]..off[v+1]
+	nbrs   []int32 // flat neighbor indices, increasing within each vertex
+	eids   []int32 // eids[s] is the edge id of the slot-s adjacency entry
+	rev    []int32 // rev[off[v]+i] is the port v occupies at its i-th neighbor
+	maxDeg int     // cached Δ(G)
+	edges  []Edge  // edges[id] with U < V
+	ids    []int   // distinct vertex identifiers, ids[v] in {1..n}
 }
 
 // Builder accumulates edges and produces an immutable Graph.
@@ -90,8 +101,6 @@ func (b *Builder) NumEdges() int { return len(b.edges) }
 func (b *Builder) Build() *Graph {
 	g := &Graph{
 		n:     b.n,
-		adj:   make([][]int32, b.n),
-		eids:  make([][]int32, b.n),
 		edges: make([]Edge, len(b.edges)),
 		ids:   make([]int, b.n),
 	}
@@ -103,27 +112,40 @@ func (b *Builder) Build() *Graph {
 		}
 		return g.edges[i].V < g.edges[j].V
 	})
-	deg := make([]int, b.n)
+	// CSR offsets from the degree histogram.
+	g.off = make([]int32, b.n+1)
 	for _, e := range g.edges {
-		deg[e.U]++
-		deg[e.V]++
+		g.off[e.U+1]++
+		g.off[e.V+1]++
 	}
 	for v := 0; v < b.n; v++ {
-		g.adj[v] = make([]int32, 0, deg[v])
-		g.eids[v] = make([]int32, 0, deg[v])
+		g.off[v+1] += g.off[v]
+		if d := int(g.off[v+1] - g.off[v]); d > g.maxDeg {
+			g.maxDeg = d
+		}
 	}
+	slots := g.off[b.n]
+	g.nbrs = make([]int32, slots)
+	g.eids = make([]int32, slots)
+	g.rev = make([]int32, slots)
+	// Fill both endpoints of each edge in one pass, recording reverse ports
+	// as the two slots are paired. Adjacency comes out sorted by neighbor
+	// index: for a vertex w, the smaller neighbors arrive from edges (x,w)
+	// and the larger from edges (w,y); lexicographic edge order emits every
+	// (x,w) before every (w,y) and keeps each group in increasing neighbor
+	// order, so no post-sort is needed (pinned by TestCSRInvariants).
+	cur := make([]int32, b.n)
+	copy(cur, g.off[:b.n])
 	for id, e := range g.edges {
-		g.adj[e.U] = append(g.adj[e.U], int32(e.V))
-		g.eids[e.U] = append(g.eids[e.U], int32(id))
-		g.adj[e.V] = append(g.adj[e.V], int32(e.U))
-		g.eids[e.V] = append(g.eids[e.V], int32(id))
-	}
-	// Adjacency is already sorted by neighbor index because edges were
-	// sorted lexicographically and appended in order for U-sides, but
-	// V-sides arrive ordered by U which is the neighbor: also sorted.
-	// Defensive sort keeps the invariant explicit.
-	for v := 0; v < b.n; v++ {
-		sortParallel(g.adj[v], g.eids[v])
+		su, sv := cur[e.U], cur[e.V]
+		cur[e.U]++
+		cur[e.V]++
+		g.nbrs[su] = int32(e.V)
+		g.nbrs[sv] = int32(e.U)
+		g.eids[su] = int32(id)
+		g.eids[sv] = int32(id)
+		g.rev[su] = sv - g.off[e.V]
+		g.rev[sv] = su - g.off[e.U]
 	}
 	for v := range g.ids {
 		g.ids[v] = v + 1
@@ -138,22 +160,6 @@ func canonical(u, v int) Edge {
 	return Edge{U: u, V: v}
 }
 
-func sortParallel(a, b []int32) {
-	idx := make([]int, len(a))
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.Slice(idx, func(i, j int) bool { return a[idx[i]] < a[idx[j]] })
-	a2 := make([]int32, len(a))
-	b2 := make([]int32, len(b))
-	for i, k := range idx {
-		a2[i] = a[k]
-		b2[i] = b[k]
-	}
-	copy(a, a2)
-	copy(b, b2)
-}
-
 // N returns the number of vertices.
 func (g *Graph) N() int { return g.n }
 
@@ -161,26 +167,25 @@ func (g *Graph) N() int { return g.n }
 func (g *Graph) M() int { return len(g.edges) }
 
 // Deg returns the degree of vertex v.
-func (g *Graph) Deg(v int) int { return len(g.adj[v]) }
+func (g *Graph) Deg(v int) int { return int(g.off[v+1] - g.off[v]) }
 
-// MaxDegree returns Δ(G).
-func (g *Graph) MaxDegree() int {
-	d := 0
-	for v := 0; v < g.n; v++ {
-		if len(g.adj[v]) > d {
-			d = len(g.adj[v])
-		}
-	}
-	return d
-}
+// MaxDegree returns Δ(G), cached at build time.
+func (g *Graph) MaxDegree() int { return g.maxDeg }
 
 // Neighbors returns the neighbor indices of v in increasing order.
 // The returned slice must not be modified.
-func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+func (g *Graph) Neighbors(v int) []int32 { return g.nbrs[g.off[v]:g.off[v+1]] }
 
 // IncidentEdgeIDs returns, parallel to Neighbors(v), the edge ids of the
 // edges from v to each neighbor. The returned slice must not be modified.
-func (g *Graph) IncidentEdgeIDs(v int) []int32 { return g.eids[v] }
+func (g *Graph) IncidentEdgeIDs(v int) []int32 { return g.eids[g.off[v]:g.off[v+1]] }
+
+// ReversePorts returns, parallel to Neighbors(v), the port that v occupies
+// in each neighbor's own adjacency list: for u = Neighbors(v)[i],
+// Neighbors(u)[ReversePorts(v)[i]] == v. Precomputed at build time so
+// message delivery translates ports in O(1) without per-edge searches.
+// The returned slice must not be modified.
+func (g *Graph) ReversePorts(v int) []int32 { return g.rev[g.off[v]:g.off[v+1]] }
 
 // Edges returns the canonical edge list; edges[id] has U < V.
 // The returned slice must not be modified.
@@ -194,13 +199,13 @@ func (g *Graph) EdgeID(u, v int) (int, bool) {
 	if u < 0 || u >= g.n || v < 0 || v >= g.n || u == v {
 		return 0, false
 	}
-	if len(g.adj[u]) > len(g.adj[v]) {
+	if g.Deg(u) > g.Deg(v) {
 		u, v = v, u
 	}
-	a := g.adj[u]
+	a := g.Neighbors(u)
 	i := sort.Search(len(a), func(i int) bool { return a[i] >= int32(v) })
 	if i < len(a) && a[i] == int32(v) {
-		return int(g.eids[u][i]), true
+		return int(g.IncidentEdgeIDs(u)[i]), true
 	}
 	return 0, false
 }
@@ -241,20 +246,16 @@ func (g *Graph) SetIDs(ids []int) error {
 
 // Clone returns a deep copy of g.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{
-		n:     g.n,
-		adj:   make([][]int32, g.n),
-		eids:  make([][]int32, g.n),
-		edges: make([]Edge, len(g.edges)),
-		ids:   make([]int, g.n),
+	return &Graph{
+		n:      g.n,
+		off:    append([]int32(nil), g.off...),
+		nbrs:   append([]int32(nil), g.nbrs...),
+		eids:   append([]int32(nil), g.eids...),
+		rev:    append([]int32(nil), g.rev...),
+		maxDeg: g.maxDeg,
+		edges:  append([]Edge(nil), g.edges...),
+		ids:    append([]int(nil), g.ids...),
 	}
-	copy(c.edges, g.edges)
-	copy(c.ids, g.ids)
-	for v := 0; v < g.n; v++ {
-		c.adj[v] = append([]int32(nil), g.adj[v]...)
-		c.eids[v] = append([]int32(nil), g.eids[v]...)
-	}
-	return c
 }
 
 // InducedSubgraph returns the subgraph induced by the vertex set keep
@@ -325,7 +326,7 @@ func (g *Graph) EdgeSubgraph(keepEdge []bool) *Graph {
 func (g *Graph) LineGraph() *Graph {
 	b := NewBuilder(len(g.edges))
 	for v := 0; v < g.n; v++ {
-		ids := g.eids[v]
+		ids := g.IncidentEdgeIDs(v)
 		for i := 0; i < len(ids); i++ {
 			for j := i + 1; j < len(ids); j++ {
 				// Two incident edges may share both endpoints only in
@@ -343,7 +344,7 @@ func (g *Graph) LineGraph() *Graph {
 func (g *Graph) Degrees() []int {
 	out := make([]int, g.n)
 	for v := range out {
-		out[v] = len(g.adj[v])
+		out[v] = g.Deg(v)
 	}
 	return out
 }

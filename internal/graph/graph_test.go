@@ -319,3 +319,60 @@ func TestShuffledIDs(t *testing.T) {
 		}
 	}
 }
+
+// TestCSRInvariants pins the CSR layout Build promises: adjacency sorted
+// without a post-sort, degrees consistent with offsets, edge ids matching
+// the canonical edge list, and reverse ports exactly inverting the port
+// numbering. The dist runtime's O(1) delivery translation depends on these.
+func TestCSRInvariants(t *testing.T) {
+	graphs := map[string]*Graph{
+		"empty":     NewBuilder(0).Build(),
+		"isolated":  NewBuilder(5).Build(),
+		"path":      Path(9),
+		"complete":  Complete(13),
+		"gnm":       GNM(120, 700, 3),
+		"linegraph": GNM(30, 90, 4).LineGraph(),
+		"star":      Star(17),
+		"clone":     GNM(60, 200, 5).Clone(),
+	}
+	for name, g := range graphs {
+		degSum := 0
+		for v := 0; v < g.N(); v++ {
+			nbrs := g.Neighbors(v)
+			eids := g.IncidentEdgeIDs(v)
+			rev := g.ReversePorts(v)
+			if len(nbrs) != g.Deg(v) || len(eids) != g.Deg(v) || len(rev) != g.Deg(v) {
+				t.Fatalf("%s: vertex %d slice lengths disagree with Deg", name, v)
+			}
+			degSum += g.Deg(v)
+			for i, u := range nbrs {
+				if i > 0 && nbrs[i-1] >= u {
+					t.Fatalf("%s: vertex %d adjacency not strictly increasing", name, v)
+				}
+				e := g.EdgeAt(int(eids[i]))
+				if !(e.U == v && e.V == int(u)) && !(e.V == v && e.U == int(u)) {
+					t.Fatalf("%s: vertex %d port %d edge id %d is %v", name, v, i, eids[i], e)
+				}
+				back := g.Neighbors(int(u))
+				if int(rev[i]) >= len(back) || back[rev[i]] != int32(v) {
+					t.Fatalf("%s: reverse port of %d at neighbor %d wrong", name, v, u)
+				}
+				if g.IncidentEdgeIDs(int(u))[rev[i]] != eids[i] {
+					t.Fatalf("%s: edge id disagrees across the two ports of (%d,%d)", name, v, u)
+				}
+			}
+		}
+		if degSum != 2*g.M() {
+			t.Fatalf("%s: degree sum %d != 2m %d", name, degSum, 2*g.M())
+		}
+		maxDeg := 0
+		for v := 0; v < g.N(); v++ {
+			if g.Deg(v) > maxDeg {
+				maxDeg = g.Deg(v)
+			}
+		}
+		if g.MaxDegree() != maxDeg {
+			t.Fatalf("%s: cached MaxDegree %d != recomputed %d", name, g.MaxDegree(), maxDeg)
+		}
+	}
+}

@@ -20,6 +20,12 @@
 // number of rounds), which holds for all schedule-driven colorings in this
 // repository; the caller supplies that round count (core.LegalRounds, or a
 // native dry run on L(G)).
+//
+// Buffer discipline: the relay decodes each physical inbox completely before
+// its next Round call, and the virtual payloads it forwards alias only the
+// message byte buffers (sender-owned, never recycled), not the pooled inbox
+// slot arrays — so the simulation is compatible with the dist runtime's
+// valid-until-next-Round inbox contract under every engine.
 package lgsim
 
 import (

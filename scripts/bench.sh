@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# bench.sh — run the runtime-facing benchmark suite and emit BENCH_runtime.json.
+#
+# The suite covers the root per-artifact benchmarks and the internal/dist
+# engine/runner benchmarks with -benchmem, so the JSON tracks wall-clock
+# (ns/op), allocation behavior (B/op, allocs/op), and the LOCAL-model custom
+# metrics (rounds, msgBytes, colors, ...) per benchmark.
+#
+# Usage:
+#   scripts/bench.sh                 # full run, writes BENCH_runtime.json
+#   BENCHTIME=1x scripts/bench.sh    # quick smoke (CI uses this)
+#   OUT=/dev/stdout scripts/bench.sh # print the JSON instead
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BENCHTIME="${BENCHTIME:-1s}"
+OUT="${OUT:-BENCH_runtime.json}"
+TXT="$(mktemp)"
+trap 'rm -f "$TXT"' EXIT
+
+go test -run '^$' -bench . -benchmem -benchtime "$BENCHTIME" . ./internal/dist/ | tee "$TXT"
+go run ./cmd/benchjson < "$TXT" > "$OUT"
+echo "wrote $OUT" >&2
