@@ -1,9 +1,10 @@
-# Development entry points. CI runs build/vet/test-race plus bench-smoke;
-# bench is the full measurement run that refreshes BENCH_runtime.json.
+# Development entry points. CI runs build/vet/test-race plus cover and the
+# bench/service smokes; bench and bench-service are the full measurement runs
+# that refresh BENCH_runtime.json and BENCH_service.json.
 
 GO ?= go
 
-.PHONY: build test race vet fmt bench bench-smoke fuzz-smoke
+.PHONY: build test race vet fmt cover bench bench-smoke bench-service bench-service-smoke fuzz-smoke
 
 build:
 	$(GO) build ./...
@@ -20,6 +21,11 @@ vet:
 fmt:
 	test -z "$$(gofmt -l .)" || { gofmt -l .; exit 1; }
 
+# Coverage gate over the service-critical packages (internal/service,
+# internal/dist); fails under the floor. CI runs this.
+cover:
+	scripts/cover.sh
+
 # Full benchmark pass: root artifact benchmarks + internal/dist engine and
 # runner benchmarks, exported as BENCH_runtime.json (ns/op, B/op, allocs/op,
 # rounds, msgBytes, ...) so the performance trajectory is tracked per commit.
@@ -30,6 +36,16 @@ bench:
 # emitter stay runnable without paying measurement time. CI runs this.
 bench-smoke:
 	BENCHTIME=1x OUT=/dev/null scripts/bench.sh
+
+# Service load measurement: drives an in-process colord with cmd/loadgen and
+# refreshes BENCH_service.json (p50/p99 latency, req/s, cache rates).
+bench-service:
+	scripts/bench_service.sh
+
+# Tiny-duration loadgen pass against a throwaway output: proves colord,
+# loadgen, and the JSON pipeline stay runnable. CI runs this.
+bench-service-smoke:
+	DURATION=300ms OUT=/dev/null scripts/bench_service.sh
 
 # Short fuzz pass over the graph builder and the wire codec seed corpora.
 fuzz-smoke:

@@ -1,0 +1,240 @@
+// Command loadgen is colord's closed-loop load generator: N concurrent
+// clients replay a mixed coloring workload (generator families × sizes ×
+// algorithms × seeds) against a colord instance and report throughput,
+// latency percentiles, and cache behavior.
+//
+// With no -addr it starts an in-process colord on a loopback port, so one
+// command measures the full HTTP round trip:
+//
+//	loadgen -duration 5s -clients 8 -mix small
+//	loadgen -addr http://localhost:7080 -mix medium -seeds 32
+//
+// With -bench the report is emitted in `go test -bench` format, so
+// scripts/bench_service.sh can pipe it through cmd/benchjson into the
+// committed BENCH_service.json:
+//
+//	BenchmarkColord/mix=small/clients=8  <reqs>  <avg> ns/op  <p50> p50-ns ...
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/exp"
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+// mixes are the named workloads: each is a list of request templates the
+// clients cycle through, with -seeds seed variants per template. Families
+// and algorithms deliberately span cheap (greedy on a tree) to expensive
+// (the paper's recursion on a line graph), matching the mixed traffic a
+// shared service would see.
+func mixes(name string) ([]service.Request, error) {
+	tmpl := func(kind, alg string, spec exp.GraphSpec) service.Request {
+		return service.Request{Kind: kind, Alg: alg, Graph: spec}
+	}
+	switch name {
+	case "small":
+		return []service.Request{
+			tmpl("edge", "be", exp.GraphSpec{Family: "gnm", N: 64, M: 192, Seed: 1}),
+			tmpl("edge", "pr", exp.GraphSpec{Family: "regular", N: 48, Deg: 4, Seed: 2}),
+			tmpl("edge", "greedy", exp.GraphSpec{Family: "tree", N: 64, Seed: 3}),
+			tmpl("vertex", "be", exp.GraphSpec{Family: "powercycle", N: 40, Deg: 3}),
+			tmpl("vertex", "greedy", exp.GraphSpec{Family: "cycle", N: 64}),
+		}, nil
+	case "medium":
+		return []service.Request{
+			tmpl("edge", "be", exp.GraphSpec{Family: "gnm", N: 256, M: 1024, Seed: 1}),
+			tmpl("edge", "be", exp.GraphSpec{Family: "linegraph", N: 32, M: 120, Seed: 2}),
+			tmpl("edge", "pr", exp.GraphSpec{Family: "regular", N: 128, Deg: 8, Seed: 3}),
+			tmpl("edge", "greedy", exp.GraphSpec{Family: "gnm", N: 128, M: 384, Seed: 4}),
+			tmpl("vertex", "be", exp.GraphSpec{Family: "powercycle", N: 120, Deg: 4}),
+			tmpl("vertex", "be", exp.GraphSpec{Family: "linegraph", N: 24, M: 70, Seed: 5}),
+			tmpl("vertex", "greedy", exp.GraphSpec{Family: "geometric", N: 160, Seed: 6}),
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown mix %q (want small or medium)", name)
+	}
+}
+
+type result struct {
+	latencies []time.Duration
+	requests  int64
+	errors    int64
+	hits      int64
+	coalesced int64
+	misses    int64
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
+	var (
+		addr     = fs.String("addr", "", "colord base URL (empty = start an in-process colord)")
+		duration = fs.Duration("duration", 5*time.Second, "how long to drive load")
+		clients  = fs.Int("clients", 8, "concurrent closed-loop clients")
+		mixName  = fs.String("mix", "small", "workload mix: small|medium")
+		seeds    = fs.Int("seeds", 8, "distinct algorithm seeds per template (controls the miss rate)")
+		engine   = fs.String("engine", "", "request-level engine override (empty = server default)")
+		workers  = fs.Int("workers", 0, "in-process server workers (0 = GOMAXPROCS)")
+		bench    = fs.Bool("bench", false, "emit the report in `go test -bench` format")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *clients < 1 || *seeds < 1 || *duration <= 0 {
+		return fmt.Errorf("need -clients >= 1, -seeds >= 1, -duration > 0 (got %d, %d, %v)", *clients, *seeds, *duration)
+	}
+	templates, err := mixes(*mixName)
+	if err != nil {
+		return err
+	}
+	if *engine != "" {
+		if _, err := dist.ParseEngine(*engine); err != nil {
+			return err
+		}
+		for i := range templates {
+			templates[i].Engine = *engine
+		}
+	}
+	// Expand seed variants: the workload has len(templates)*seeds distinct
+	// cache keys; everything beyond the first pass over it is cache traffic.
+	workload := make([][]byte, 0, len(templates)**seeds)
+	for s := 0; s < *seeds; s++ {
+		for _, t := range templates {
+			t.Seed = int64(s)
+			b, err := json.Marshal(t)
+			if err != nil {
+				return err
+			}
+			workload = append(workload, b)
+		}
+	}
+
+	base := *addr
+	if base == "" {
+		w := *workers
+		if w <= 0 {
+			w = runtime.GOMAXPROCS(0)
+		}
+		svc := service.New(service.Config{Workers: w, Engine: dist.Sharded})
+		defer svc.Close()
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return err
+		}
+		srv := &http.Server{Handler: svc.Handler()}
+		go srv.Serve(ln)
+		defer srv.Close()
+		base = "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "loadgen: in-process colord on %s (workers=%d)\n", base, w)
+	}
+	url := base + "/v1/color"
+
+	transport := &http.Transport{MaxIdleConnsPerHost: *clients}
+	client := &http.Client{Transport: transport}
+	deadline := time.Now().Add(*duration)
+	results := make([]result, *clients)
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			res := &results[c]
+			// Stagger starting offsets so clients collide on different
+			// keys early (driving coalescing) and spread later.
+			i := (c * 31) % len(workload)
+			for time.Now().Before(deadline) {
+				body := workload[i%len(workload)]
+				i++
+				start := time.Now()
+				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				if err != nil {
+					res.errors++
+					continue
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				lat := time.Since(start)
+				res.requests++
+				res.latencies = append(res.latencies, lat)
+				if resp.StatusCode != http.StatusOK {
+					res.errors++
+					continue
+				}
+				switch resp.Header.Get("X-Colord-Cache") {
+				case "hit":
+					res.hits++
+				case "coalesced":
+					res.coalesced++
+				default:
+					res.misses++
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	var total result
+	for i := range results {
+		total.requests += results[i].requests
+		total.errors += results[i].errors
+		total.hits += results[i].hits
+		total.coalesced += results[i].coalesced
+		total.misses += results[i].misses
+		total.latencies = append(total.latencies, results[i].latencies...)
+	}
+	if total.errors > 0 {
+		return fmt.Errorf("%d request errors (of %d)", total.errors, total.requests)
+	}
+	if total.requests == 0 {
+		return fmt.Errorf("no requests completed within %v", *duration)
+	}
+	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
+	pct := func(p float64) time.Duration {
+		idx := int(p * float64(len(total.latencies)-1))
+		return total.latencies[idx]
+	}
+	var sum time.Duration
+	for _, l := range total.latencies {
+		sum += l
+	}
+	avg := sum / time.Duration(len(total.latencies))
+	rps := float64(total.requests) / duration.Seconds()
+	hitRate := float64(total.hits) / float64(total.requests)
+
+	if *bench {
+		// go test -bench format: benchjson turns the (value, unit) pairs
+		// into BENCH_service.json metrics.
+		fmt.Printf("goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
+		fmt.Printf("BenchmarkColord/mix=%s/clients=%d/seeds=%d \t%8d\t%12d ns/op\t%12d p50-ns\t%12d p99-ns\t%12d max-ns\t%10.1f req/s\t%8.4f hit-rate\t%8.4f coalesce-rate\n",
+			*mixName, *clients, *seeds, total.requests, avg.Nanoseconds(),
+			pct(0.50).Nanoseconds(), pct(0.99).Nanoseconds(),
+			total.latencies[len(total.latencies)-1].Nanoseconds(),
+			rps, hitRate, float64(total.coalesced)/float64(total.requests))
+		return nil
+	}
+	fmt.Printf("mix=%s clients=%d seeds=%d duration=%v\n", *mixName, *clients, *seeds, *duration)
+	fmt.Printf("requests: %d (%.1f req/s), errors: %d\n", total.requests, rps, total.errors)
+	fmt.Printf("latency: avg=%v p50=%v p99=%v max=%v\n", avg, pct(0.50), pct(0.99), total.latencies[len(total.latencies)-1])
+	fmt.Printf("cache: %d hits (%.1f%%), %d coalesced, %d misses\n",
+		total.hits, 100*hitRate, total.coalesced, total.misses)
+	return nil
+}

@@ -1,0 +1,58 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/testutil"
+)
+
+// TestGoldenList pins the experiment registry: names and descriptions are
+// part of the CLI contract (-exp takes them).
+func TestGoldenList(t *testing.T) {
+	out := testutil.CaptureStdout(t, func() error { return run([]string{"-list"}) })
+	testutil.Golden(t, "list", out)
+}
+
+// TestGoldenExperiments pins the rendered artifacts of two cheap
+// experiments, including the -out file path and the artifact's
+// byte-identity across engines and worker counts — the harness's core
+// config-independence promise, observed end to end through the CLI.
+func TestGoldenExperiments(t *testing.T) {
+	for _, exp := range []string{"fig2", "fig3"} {
+		t.Run(exp, func(t *testing.T) {
+			dir := t.TempDir()
+			ref := testutil.CaptureStdout(t, func() error {
+				return run([]string{"-exp", exp, "-out", dir})
+			})
+			testutil.Golden(t, exp, ref)
+			art, err := os.ReadFile(filepath.Join(dir, exp+".txt"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(art) != ref {
+				t.Fatal("-out artifact differs from stdout")
+			}
+			for _, args := range [][]string{
+				{"-exp", exp, "-engine", "lockstep"},
+				{"-exp", exp, "-engine", "sharded", "-workers", "3"},
+				{"-exp", exp, "-workers", "1"},
+			} {
+				out := testutil.CaptureStdout(t, func() error { return run(args) })
+				if out != ref {
+					t.Fatalf("%v output differs from default config", args)
+				}
+			}
+		})
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nosuch"}); err == nil {
+		t.Fatal("unknown experiment must be rejected")
+	}
+	if err := run([]string{"-engine", "nope", "-list"}); err == nil {
+		t.Fatal("bad engine must be rejected")
+	}
+}

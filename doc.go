@@ -15,12 +15,19 @@
 // Panconesi–Rizzi edge coloring) and the baselines the paper compares
 // against.
 //
-// Start at DESIGN.md for the system inventory, EXPERIMENTS.md for the
-// measured reproduction of every table and figure, examples/quickstart for
-// the API, and cmd/repro to regenerate all experiment artifacts (its
-// -engine and -workers flags select the scheduler and the experiment
-// worker pool; artifacts are byte-identical either way). The root
-// bench_test.go exposes one benchmark per paper artifact, and
-// scripts/bench.sh (make bench) exports the whole benchmark suite as
-// BENCH_runtime.json.
+// Determinism makes the algorithms servable: cmd/colord is a long-running
+// HTTP/JSON coloring daemon (internal/service) with a deterministic result
+// cache keyed by canonical graph fingerprints, a request micro-batcher, and
+// per-graph pools of reusable runners; cmd/loadgen drives it with mixed
+// closed-loop workloads and exports latency/throughput measurements as
+// BENCH_service.json.
+//
+// Start at DESIGN.md for the system inventory, README.md for the
+// quickstarts, EXPERIMENTS.md for the measured reproduction of every table
+// and figure, examples/quickstart for the API, and cmd/repro to regenerate
+// all experiment artifacts (its -engine and -workers flags select the
+// scheduler and the experiment worker pool; artifacts are byte-identical
+// either way). The root bench_test.go exposes one benchmark per paper
+// artifact, and scripts/bench.sh (make bench) exports the whole benchmark
+// suite as BENCH_runtime.json.
 package repro

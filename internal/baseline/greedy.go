@@ -23,38 +23,42 @@ import (
 // the smallest free color. Its round complexity is the longest increasing-ID
 // path, up to n; it is the classic correctness oracle.
 func GreedyVertexColoring(g *graph.Graph, opts ...dist.Option) (*dist.Result[int], error) {
-	return dist.Run(g, func(v dist.Process) int {
-		deg := v.Deg()
-		waiting := 0
+	return dist.Run(g, GreedyVertexProcess, opts...)
+}
+
+// GreedyVertexProcess is the per-vertex body of GreedyVertexColoring,
+// exported for callers that execute on a reusable dist.Runner or dist.Pool.
+func GreedyVertexProcess(v dist.Process) int {
+	deg := v.Deg()
+	waiting := 0
+	for p := 0; p < deg; p++ {
+		if v.NeighborID(p) < v.ID() {
+			waiting++
+		}
+	}
+	used := make([]bool, v.MaxDegree()+2)
+	for {
+		if waiting == 0 {
+			c := 1
+			for used[c] {
+				c++
+			}
+			v.Broadcast(wire.EncodeInts(c))
+			return c
+		}
+		in := v.Round(nil)
 		for p := 0; p < deg; p++ {
-			if v.NeighborID(p) < v.ID() {
-				waiting++
+			if in[p] == nil || v.NeighborID(p) > v.ID() {
+				continue
 			}
+			vals, err := wire.DecodeInts(in[p], 1)
+			if err != nil {
+				panic("baseline: bad color message: " + err.Error())
+			}
+			used[vals[0]] = true
+			waiting--
 		}
-		used := make([]bool, v.MaxDegree()+2)
-		for {
-			if waiting == 0 {
-				c := 1
-				for used[c] {
-					c++
-				}
-				v.Broadcast(wire.EncodeInts(c))
-				return c
-			}
-			in := v.Round(nil)
-			for p := 0; p < deg; p++ {
-				if in[p] == nil || v.NeighborID(p) > v.ID() {
-					continue
-				}
-				vals, err := wire.DecodeInts(in[p], 1)
-				if err != nil {
-					panic("baseline: bad color message: " + err.Error())
-				}
-				used[vals[0]] = true
-				waiting--
-			}
-		}
-	}, opts...)
+	}
 }
 
 // GreedyEdgeColoring colors edges with palette {1..2Δ−1} by lexicographic
@@ -64,8 +68,12 @@ func GreedyVertexColoring(g *graph.Graph, opts ...dist.Option) (*dist.Result[int
 // both endpoints. The naive baseline with worst-case Θ(n)-round chains.
 // Returns per-port colors (merge with graph.MergePortColors).
 func GreedyEdgeColoring(g *graph.Graph, opts ...dist.Option) (*dist.Result[[]int], error) {
-	return dist.Run(g, greedyEdgeVertex, opts...)
+	return dist.Run(g, GreedyEdgeProcess, opts...)
 }
+
+// GreedyEdgeProcess is the per-vertex body of GreedyEdgeColoring, exported
+// for callers that execute on a reusable dist.Runner or dist.Pool.
+func GreedyEdgeProcess(v dist.Process) []int { return greedyEdgeVertex(v) }
 
 // edgeKey orders edges by ⟨min id, max id⟩.
 type edgeKey struct{ lo, hi int }

@@ -21,15 +21,27 @@ import (
 // parallel with disjoint palettes. Returns per-vertex port colorings (merge
 // with graph.MergePortColors).
 func LegalEdgeColoring(g *graph.Graph, pl *core.Plan, mode MsgMode, opts ...dist.Option) (*dist.Result[[]int], error) {
+	algo, err := LegalEdgeProcess(g.MaxDegree(), pl, mode)
+	if err != nil {
+		return nil, err
+	}
+	return dist.Run(g, algo, opts...)
+}
+
+// LegalEdgeProcess returns the per-vertex body of LegalEdgeColoring for a
+// graph of maximum degree delta, validated against the plan. Callers that
+// execute on a reusable dist.Runner or dist.Pool (the coloring service) use
+// it to get the exact algorithm LegalEdgeColoring would run.
+func LegalEdgeProcess(delta int, pl *core.Plan, mode MsgMode) (func(dist.Process) []int, error) {
 	if !pl.Edge {
-		return nil, fmt.Errorf("edgecolor: vertex-mode plan passed to LegalEdgeColoring")
+		return nil, fmt.Errorf("edgecolor: vertex-mode plan passed to LegalEdgeProcess")
 	}
-	if d := g.MaxDegree(); d > pl.Delta {
-		return nil, fmt.Errorf("edgecolor: graph degree %d exceeds plan Δ=%d", d, pl.Delta)
+	if delta > pl.Delta {
+		return nil, fmt.Errorf("edgecolor: graph degree %d exceeds plan Δ=%d", delta, pl.Delta)
 	}
-	return dist.Run(g, func(v dist.Process) []int {
+	return func(v dist.Process) []int {
 		return legalEdgeVertex(v, pl, mode, nil)
-	}, opts...)
+	}, nil
 }
 
 // legalEdgeVertex is the per-vertex body of the edge Legal-Color. initClass

@@ -1,0 +1,129 @@
+package edgecolor
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/graph"
+	"repro/internal/panconesi"
+)
+
+// sweepGraphs is the generator zoo of the legality sweep: every family kind
+// internal/graph exports, small enough that the full family × algorithm ×
+// engine matrix stays fast but shaped to hit the structural corners (odd
+// degrees, cliques, pendants, line graphs, isolated vertices).
+func sweepGraphs() map[string]*graph.Graph {
+	withIsolated := graph.NewBuilder(9)
+	for _, e := range [][2]int{{1, 4}, {4, 7}, {2, 7}} {
+		if err := withIsolated.AddEdge(e[0], e[1]); err != nil {
+			panic(err)
+		}
+	}
+	return map[string]*graph.Graph{
+		"path":           graph.Path(13),
+		"cycle":          graph.Cycle(14),
+		"complete":       graph.Complete(9),
+		"star":           graph.Star(11),
+		"gnm":            graph.GNM(40, 110, 3),
+		"regular":        graph.RandomRegular(24, 5, 5),
+		"grid":           graph.Grid(5, 6),
+		"tree":           graph.RandomTree(26, 7),
+		"cliquePendants": graph.CliquePlusPendants(6),
+		"powerOfCycle":   graph.PowerOfCycle(22, 3),
+		"lineGraph":      graph.GNM(14, 36, 8).LineGraph(),
+		"hyperLineGraph": graph.RandomHypergraph(21, 24, 3, 9).LineGraph(),
+		"shuffledIDs":    graph.ShuffledIDs(graph.GNM(30, 80, 11), 12),
+		"isolated":       withIsolated.Build(),
+	}
+}
+
+// edgeAlgorithm is one algorithm under sweep: run executes it and returns
+// the per-vertex port colorings plus the palette bound the paper (or the
+// baseline's folklore analysis) promises for this graph.
+type edgeAlgorithm struct {
+	name string
+	run  func(g *graph.Graph, opts ...dist.Option) (*dist.Result[[]int], int, error)
+}
+
+func sweepAlgorithms() []edgeAlgorithm {
+	return []edgeAlgorithm{
+		{"be-wide", func(g *graph.Graph, opts ...dist.Option) (*dist.Result[[]int], int, error) {
+			pl, err := core.AutoPlan(g.MaxDegree(), 2, 2, 6, true)
+			if err != nil {
+				return nil, 0, err
+			}
+			res, err := LegalEdgeColoring(g, pl, Wide, opts...)
+			return res, pl.TotalPalette(), err
+		}},
+		{"be-short", func(g *graph.Graph, opts ...dist.Option) (*dist.Result[[]int], int, error) {
+			pl, err := core.AutoPlan(g.MaxDegree(), 2, 2, 6, true)
+			if err != nil {
+				return nil, 0, err
+			}
+			res, err := LegalEdgeColoring(g, pl, Short, opts...)
+			return res, pl.TotalPalette(), err
+		}},
+		{"pr", func(g *graph.Graph, opts ...dist.Option) (*dist.Result[[]int], int, error) {
+			res, err := panconesi.EdgeColoring(g, opts...)
+			return res, 2*g.MaxDegree() - 1, err
+		}},
+		{"greedy", func(g *graph.Graph, opts ...dist.Option) (*dist.Result[[]int], int, error) {
+			res, err := baseline.GreedyEdgeColoring(g, opts...)
+			return res, 2*g.MaxDegree() - 1, err
+		}},
+		{"rand", func(g *graph.Graph, opts ...dist.Option) (*dist.Result[[]int], int, error) {
+			res, err := baseline.RandomizedTrialEdgeColoring(g, opts...)
+			return res, 2*g.MaxDegree() - 1, err
+		}},
+	}
+}
+
+// TestEdgeLegalityProperty is the legality sweep: for every generator family
+// × algorithm × engine, the returned edge coloring must merge consistently
+// (both endpoints agree per edge), be proper (no two adjacent edges share a
+// color), and stay within the algorithm's color bound — for the paper's
+// algorithm, the Theorem 5.5 palette of its recursion plan; for the
+// baselines, 2Δ−1.
+func TestEdgeLegalityProperty(t *testing.T) {
+	engines := []struct {
+		name string
+		opts []dist.Option
+	}{
+		{"goroutines", []dist.Option{dist.WithEngine(dist.Goroutines)}},
+		{"lockstep", []dist.Option{dist.WithEngine(dist.Lockstep)}},
+		{"sharded-3", []dist.Option{dist.WithEngine(dist.Sharded), dist.WithShards(3)}},
+	}
+	for gname, g := range sweepGraphs() {
+		if g.MaxDegree() == 0 {
+			continue
+		}
+		for _, alg := range sweepAlgorithms() {
+			for _, eng := range engines {
+				t.Run(fmt.Sprintf("%s/%s/%s", gname, alg.name, eng.name), func(t *testing.T) {
+					res, palette, err := alg.run(g, append([]dist.Option{dist.WithSeed(1)}, eng.opts...)...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					colors, err := graph.MergePortColors(g, res.Outputs)
+					if err != nil {
+						t.Fatalf("endpoints disagree: %v", err)
+					}
+					if err := graph.CheckEdgeColoring(g, colors); err != nil {
+						t.Fatalf("coloring not proper: %v", err)
+					}
+					for id, c := range colors {
+						if c < 1 || c > palette {
+							t.Fatalf("edge %d color %d outside palette [1,%d]", id, c, palette)
+						}
+					}
+					if used := graph.CountColors(colors); used > palette {
+						t.Fatalf("%d colors used, bound %d", used, palette)
+					}
+				})
+			}
+		}
+	}
+}

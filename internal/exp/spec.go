@@ -1,0 +1,200 @@
+package exp
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// GraphSpec names one generated graph: a generator family plus its
+// parameters. It is the shared workload vocabulary of the experiment harness,
+// the coloring service (requests carry a spec, the server builds the graph),
+// and the load generator (mixes are lists of specs). Building the same spec
+// twice yields identical graphs — the generators are seed-deterministic — so
+// a spec is as good a cache key as the graph fingerprint it expands to.
+//
+// Unused parameters are ignored by families that do not take them; the
+// canonical String renders only the parameters the family consumes, so specs
+// that build identical graphs render identically.
+type GraphSpec struct {
+	// Family is one of the names accepted by Build: gnm, regular, cycle,
+	// path, complete, tree, geometric, powercycle, grid, fig1, linegraph,
+	// hyperline.
+	Family string `json:"family"`
+	// N is the base vertex count (gnm, regular, cycle, path, complete,
+	// tree, geometric, powercycle, grid [width], linegraph, hyperline).
+	N int `json:"n,omitempty"`
+	// M is the edge / hyperedge count (gnm, linegraph, hyperline) or the
+	// grid height.
+	M int `json:"m,omitempty"`
+	// Deg is the degree (regular), the cycle power (powercycle), the clique
+	// size (fig1), or the hypergraph rank (hyperline).
+	Deg int `json:"deg,omitempty"`
+	// Seed drives the randomized generators; deterministic families
+	// ignore it.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// String renders the spec canonically, e.g. "gnm(n=256,m=1024,seed=1)".
+func (s GraphSpec) String() string {
+	switch s.Family {
+	case "gnm":
+		return fmt.Sprintf("gnm(n=%d,m=%d,seed=%d)", s.N, s.M, s.Seed)
+	case "regular":
+		return fmt.Sprintf("regular(n=%d,deg=%d,seed=%d)", s.N, s.Deg, s.Seed)
+	case "cycle", "path", "complete":
+		return fmt.Sprintf("%s(n=%d)", s.Family, s.N)
+	case "tree":
+		return fmt.Sprintf("tree(n=%d,seed=%d)", s.N, s.Seed)
+	case "geometric":
+		return fmt.Sprintf("geometric(n=%d,seed=%d)", s.N, s.Seed)
+	case "powercycle":
+		return fmt.Sprintf("powercycle(n=%d,k=%d)", s.N, s.Deg)
+	case "grid":
+		return fmt.Sprintf("grid(w=%d,h=%d)", s.N, s.M)
+	case "fig1":
+		return fmt.Sprintf("fig1(k=%d)", s.Deg)
+	case "linegraph":
+		return fmt.Sprintf("linegraph(n=%d,m=%d,seed=%d)", s.N, s.M, s.Seed)
+	case "hyperline":
+		return fmt.Sprintf("hyperline(n=%d,m=%d,r=%d,seed=%d)", s.N, s.M, s.Deg, s.Seed)
+	default:
+		return fmt.Sprintf("%s?(n=%d,m=%d,deg=%d,seed=%d)", s.Family, s.N, s.M, s.Deg, s.Seed)
+	}
+}
+
+// Build expands the spec into its graph. Parameters are validated per family;
+// an unknown family or out-of-range parameter is an error, never a panic, so
+// specs can come straight off the wire.
+func (s GraphSpec) Build() (g *graph.Graph, err error) {
+	// The generators panic on invalid parameters; the explicit checks below
+	// cover the known cases, and this net turns any remaining one into an
+	// error a server can refuse instead of a crash.
+	defer func() {
+		if r := recover(); r != nil {
+			g, err = nil, fmt.Errorf("exp: invalid spec %v: %v", s, r)
+		}
+	}()
+	if s.N < 0 || s.M < 0 || s.Deg < 0 {
+		return nil, fmt.Errorf("exp: negative parameter in %v", s)
+	}
+	// Size ceilings: the generators allocate eagerly, and a spec can come
+	// from an unauthenticated request — an absurd size must be an error,
+	// not an OOM. The parameter ceilings here are the first gate; families
+	// whose output is larger than their parameters (line graphs, cycle
+	// powers, regular graphs) get an expansion check below, against maxM
+	// on the number of edges they would materialize.
+	if s.N > maxN || s.M > maxM || s.Deg > maxDeg {
+		return nil, fmt.Errorf("exp: spec %v exceeds size ceilings (n<=%d, m<=%d, deg<=%d)", s, maxN, maxM, maxDeg)
+	}
+	switch s.Family {
+	case "gnm":
+		if max := s.N * (s.N - 1) / 2; s.M > max {
+			return nil, fmt.Errorf("exp: gnm m=%d exceeds max %d for n=%d", s.M, max, s.N)
+		}
+		return graph.GNM(s.N, s.M, s.Seed), nil
+	case "regular":
+		if s.Deg >= s.N || s.N*s.Deg%2 != 0 {
+			return nil, fmt.Errorf("exp: regular needs deg < n and n·deg even, got n=%d deg=%d", s.N, s.Deg)
+		}
+		if s.N*s.Deg/2 > maxM {
+			return nil, fmt.Errorf("exp: regular n=%d deg=%d would have %d edges (max %d)", s.N, s.Deg, s.N*s.Deg/2, maxM)
+		}
+		return graph.RandomRegular(s.N, s.Deg, s.Seed), nil
+	case "cycle":
+		if s.N < 3 {
+			return nil, fmt.Errorf("exp: cycle needs n >= 3, got %d", s.N)
+		}
+		return graph.Cycle(s.N), nil
+	case "path":
+		return graph.Path(s.N), nil
+	case "complete":
+		if s.N > 2048 {
+			return nil, fmt.Errorf("exp: complete n=%d too large", s.N)
+		}
+		return graph.Complete(s.N), nil
+	case "tree":
+		return graph.RandomTree(s.N, s.Seed), nil
+	case "geometric":
+		// Expected edges grow as n²·r² with the fixed radius 0.08; past
+		// this n the materialized graph outgrows the edge ceiling.
+		if s.N > 1<<13 {
+			return nil, fmt.Errorf("exp: geometric n=%d too large (max %d)", s.N, 1<<13)
+		}
+		return graph.Geometric(s.N, 0.08, s.Seed), nil
+	case "powercycle":
+		if s.N < 2*s.Deg+2 {
+			return nil, fmt.Errorf("exp: powercycle needs n >= 2k+2, got n=%d k=%d", s.N, s.Deg)
+		}
+		if s.N*s.Deg > maxM {
+			return nil, fmt.Errorf("exp: powercycle n=%d k=%d would have %d edges (max %d)", s.N, s.Deg, s.N*s.Deg, maxM)
+		}
+		return graph.PowerOfCycle(s.N, s.Deg), nil
+	case "grid":
+		if s.N*s.M > maxN {
+			return nil, fmt.Errorf("exp: grid %dx%d has %d vertices (max %d)", s.N, s.M, s.N*s.M, maxN)
+		}
+		return graph.Grid(s.N, s.M), nil
+	case "fig1":
+		if s.Deg < 2 || s.Deg > 256 {
+			return nil, fmt.Errorf("exp: fig1 needs 2 <= k <= 256, got %d", s.Deg)
+		}
+		return graph.CliquePlusPendants(s.Deg), nil
+	case "linegraph":
+		if max := s.N * (s.N - 1) / 2; s.M > max {
+			return nil, fmt.Errorf("exp: linegraph m=%d exceeds max %d for n=%d", s.M, max, s.N)
+		}
+		base := graph.GNM(s.N, s.M, s.Seed)
+		if le := lineEdges(base.Degrees()); le > maxM {
+			return nil, fmt.Errorf("exp: L(gnm(n=%d,m=%d)) would have ~%d edges (max %d)", s.N, s.M, le, maxM)
+		}
+		return base.LineGraph(), nil
+	case "hyperline":
+		if s.Deg < 2 || s.Deg > s.N {
+			// rank > n would make the generator loop forever trying to
+			// collect more distinct vertices than exist.
+			return nil, fmt.Errorf("exp: hyperline needs 2 <= rank <= n, got rank=%d n=%d", s.Deg, s.N)
+		}
+		// Pre-checks on the hypergraph itself: membership lists are m·r
+		// ints, and the generator retries duplicate hyperedges, so m must
+		// leave room among the distinct possibilities.
+		if s.M*s.Deg > 4*maxM {
+			return nil, fmt.Errorf("exp: hyperline m=%d r=%d membership too large", s.M, s.Deg)
+		}
+		if s.M > s.N*(s.N-1)/2 {
+			return nil, fmt.Errorf("exp: hyperline m=%d exceeds the distinct-hyperedge budget for n=%d", s.M, s.N)
+		}
+		h := graph.RandomHypergraph(s.N, s.M, s.Deg, s.Seed)
+		counts := make([]int, s.N)
+		for _, e := range h.Edges {
+			for _, v := range e {
+				counts[v]++
+			}
+		}
+		if le := lineEdges(counts); le > maxM {
+			return nil, fmt.Errorf("exp: L(hypergraph(n=%d,m=%d,r=%d)) would have ~%d edges (max %d)", s.N, s.M, s.Deg, le, maxM)
+		}
+		return h.LineGraph(), nil
+	default:
+		return nil, fmt.Errorf("exp: unknown graph family %q", s.Family)
+	}
+}
+
+// maxN, maxM, maxDeg are the service-facing size ceilings of Build: large
+// enough for every experiment in the repository, small enough that the
+// worst-case allocation a single request can trigger stays modest.
+const maxN, maxM, maxDeg = 1 << 20, 1 << 21, 1 << 10
+
+// lineEdges upper-bounds the edge count of a line graph from the base
+// degree (or membership-count) sequence: Σ C(d,2), exact up to triangle
+// collapsing.
+func lineEdges(degs []int) int {
+	total := 0
+	for _, d := range degs {
+		total += d * (d - 1) / 2
+		if total > 4*maxM { // early out: already hopeless
+			return total
+		}
+	}
+	return total
+}

@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestGraphSpecBuild(t *testing.T) {
+	ok := []GraphSpec{
+		{Family: "gnm", N: 32, M: 64, Seed: 1},
+		{Family: "regular", N: 16, Deg: 4, Seed: 2},
+		{Family: "cycle", N: 9},
+		{Family: "path", N: 5},
+		{Family: "complete", N: 6},
+		{Family: "tree", N: 12, Seed: 3},
+		{Family: "geometric", N: 40, Seed: 4},
+		{Family: "powercycle", N: 20, Deg: 3},
+		{Family: "grid", N: 4, M: 5},
+		{Family: "fig1", Deg: 5},
+		{Family: "linegraph", N: 12, M: 24, Seed: 5},
+		{Family: "hyperline", N: 18, M: 12, Deg: 3, Seed: 6},
+	}
+	for _, s := range ok {
+		g, err := s.Build()
+		if err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+		// Rebuilding must yield an identical graph: specs are cache keys.
+		g2, err := s.Build()
+		if err != nil {
+			t.Fatalf("%v rebuild: %v", s, err)
+		}
+		if g.Fingerprint() != g2.Fingerprint() {
+			t.Fatalf("%v: rebuild produced a different graph", s)
+		}
+		if strings.Contains(s.String(), "?") {
+			t.Fatalf("%v: family missing from String", s)
+		}
+	}
+
+	bad := []GraphSpec{
+		{Family: "nosuch", N: 4},
+		{Family: "gnm", N: 4, M: 100},
+		{Family: "gnm", N: -1},
+		{Family: "regular", N: 5, Deg: 3}, // odd n·deg
+		{Family: "regular", N: 4, Deg: 4}, // deg >= n
+		{Family: "cycle", N: 2},
+		{Family: "powercycle", N: 7, Deg: 3}, // n < 2k+2, would panic unchecked
+		{Family: "fig1", Deg: 1},
+		{Family: "hyperline", N: 9, M: 6, Deg: 1},
+		{Family: "complete", N: 5000},
+		// Expansion ceilings: parameters in range, materialized graph not.
+		{Family: "path", N: 100000000000},
+		{Family: "linegraph", N: 1000, M: 400000, Seed: 1},
+		{Family: "powercycle", N: 1 << 20, Deg: 1 << 10},
+		{Family: "regular", N: 1 << 20, Deg: 1 << 9},
+		{Family: "geometric", N: 1 << 19},
+		{Family: "grid", N: 1 << 15, M: 1 << 15},
+		{Family: "hyperline", N: 4000, M: 1 << 21, Deg: 100, Seed: 1},
+	}
+	for _, s := range bad {
+		if _, err := s.Build(); err == nil {
+			t.Fatalf("%v: want error", s)
+		}
+	}
+}
+
+// TestHyperlineRankCeiling pins the rank <= n guard: rank > n would make the
+// hypergraph generator loop forever collecting distinct vertices.
+func TestHyperlineRankCeiling(t *testing.T) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := (GraphSpec{Family: "hyperline", N: 2, M: 1, Deg: 5}).Build(); err == nil {
+			t.Error("rank > n must be rejected")
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Build hung on rank > n")
+	}
+}

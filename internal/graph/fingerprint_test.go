@@ -1,0 +1,40 @@
+package graph
+
+import "testing"
+
+func TestFingerprintDistinguishes(t *testing.T) {
+	base := GNM(40, 120, 1)
+	if got, want := base.Fingerprint(), base.Clone().Fingerprint(); got != want {
+		t.Fatalf("clone fingerprint differs: %v vs %v", got, want)
+	}
+	if base.Fingerprint() != base.Fingerprint() {
+		t.Fatal("fingerprint is not stable across calls")
+	}
+
+	distinct := map[Fingerprint]string{base.Fingerprint(): "base"}
+	add := func(name string, g *Graph) {
+		f := g.Fingerprint()
+		if prev, dup := distinct[f]; dup {
+			t.Fatalf("%s collides with %s: %v", name, prev, f)
+		}
+		distinct[f] = name
+	}
+	add("other seed", GNM(40, 120, 2))
+	add("other size", GNM(41, 120, 1))
+	add("shuffled ids", ShuffledIDs(GNM(40, 120, 1), 3))
+	add("path", Path(40))
+	add("cycle", Cycle(40))
+	add("empty", NewBuilder(0).Build())
+	add("isolated", NewBuilder(40).Build())
+}
+
+// TestFingerprintPinned pins the serialization format: a change to the hash
+// input invalidates every persisted cache entry keyed by a fingerprint, so it
+// must be deliberate, not accidental.
+func TestFingerprintPinned(t *testing.T) {
+	got := Path(3).Fingerprint().String()
+	const want = "ddad06b73812c9b6963b98cd8110482a20c1fa4f839ff1a758f15d5c33720c6c"
+	if got != want {
+		t.Fatalf("Path(3) fingerprint changed:\n got %s\nwant %s\n(update the constant only if the format change is intentional)", got, want)
+	}
+}

@@ -1,0 +1,213 @@
+package service
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/edgecolor"
+	"repro/internal/graph"
+	"repro/internal/panconesi"
+)
+
+// resolve validates a request against its built graph and returns the
+// canonical form: defaults filled, cache key derived, and a runner closure
+// bound to the entry's pools. All parameter validation happens here, before
+// the request is queued — exec-time failures are limited to genuine runtime
+// errors (vertex panics, round caps).
+func (s *Service) resolve(req Request) (*canonReq, error) {
+	switch req.Kind {
+	case "edge", "vertex":
+	default:
+		return nil, fmt.Errorf("service: unknown kind %q (want edge or vertex)", req.Kind)
+	}
+	engine := s.cfg.Engine
+	if req.Engine != "" {
+		var err error
+		if engine, err = dist.ParseEngine(req.Engine); err != nil {
+			return nil, err
+		}
+	}
+	entry, err := s.graphs.get(req.Graph)
+	if err != nil {
+		return nil, err
+	}
+	g := entry.g
+
+	if req.B == 0 {
+		req.B = 2
+	}
+	if req.C == 0 {
+		req.C = 2
+	}
+	if req.Mode == "" {
+		req.Mode = "wide"
+	}
+	if req.B < 2 || req.C < 1 || req.P < 0 {
+		return nil, fmt.Errorf("service: invalid plan parameters b=%d p=%d c=%d", req.B, req.P, req.C)
+	}
+
+	c := &canonReq{
+		entry: entry,
+		opts: []dist.Option{
+			dist.WithSeed(req.Seed),
+			dist.WithEngine(engine),
+			dist.WithShards(req.Shards),
+		},
+	}
+
+	delta := g.MaxDegree()
+	if req.Kind == "edge" {
+		req.C = 0 // edge algorithms work on c = 2 by construction (Lemma 5.1)
+	}
+	switch {
+	case req.Kind == "edge" && req.Alg == "be":
+		if req.P == 0 {
+			req.P = 6
+		}
+		if req.Mode != "wide" && req.Mode != "short" {
+			return nil, fmt.Errorf("service: unknown mode %q (want wide or short)", req.Mode)
+		}
+		mode := edgecolor.Wide
+		if req.Mode == "short" {
+			mode = edgecolor.Short
+		}
+		if g.M() == 0 {
+			c.runner = emptyEdges
+			break
+		}
+		pl, err := core.AutoPlan(delta, 2, req.B, req.P, true)
+		if err != nil {
+			return nil, err
+		}
+		algo, err := edgecolor.LegalEdgeProcess(delta, pl, mode)
+		if err != nil {
+			return nil, err
+		}
+		c.runner = edgeRunner(algo, pl.TotalPalette())
+	case req.Kind == "edge" && req.Alg == "pr":
+		req.Mode, req.P, req.B = "", 0, 0 // unused: keep the key canonical
+		if g.M() == 0 {
+			c.runner = emptyEdges
+			break
+		}
+		c.runner = edgeRunner(func(v dist.Process) []int {
+			return panconesi.EdgeColorStep(v, nil, delta)
+		}, 2*delta-1)
+	case req.Kind == "edge" && req.Alg == "greedy":
+		req.Mode, req.P, req.B = "", 0, 0
+		if g.M() == 0 {
+			c.runner = emptyEdges
+			break
+		}
+		c.runner = edgeRunner(baseline.GreedyEdgeProcess, 2*delta-1)
+	case req.Kind == "vertex" && req.Alg == "be":
+		if req.P == 0 {
+			req.P = 4*req.C + 1
+		}
+		req.Mode = ""
+		if delta == 0 {
+			c.runner = isolatedVertices
+			break
+		}
+		pl, err := core.AutoPlan(delta, req.C, req.B, req.P, false)
+		if err != nil {
+			return nil, err
+		}
+		algo, err := core.LegalColorProcess(g.N(), delta, pl, core.StartIDs)
+		if err != nil {
+			return nil, err
+		}
+		c.runner = vertexRunner(algo, pl.TotalPalette())
+	case req.Kind == "vertex" && req.Alg == "greedy":
+		req.Mode, req.P, req.B, req.C = "", 0, 0, 0
+		c.runner = vertexRunner(baseline.GreedyVertexProcess, delta+1)
+	default:
+		return nil, fmt.Errorf("service: unknown algorithm %q for kind %q", req.Alg, req.Kind)
+	}
+
+	c.req = req
+	c.key = cacheKey(&req, entry.fp)
+	return c, nil
+}
+
+// baseRecord fills the graph-shaped half of a record.
+func (c *canonReq) baseRecord(palette int) *record {
+	g := c.entry.g
+	return &record{
+		kind:    c.req.Kind,
+		alg:     c.req.Alg,
+		n:       g.N(),
+		m:       g.M(),
+		delta:   g.MaxDegree(),
+		palette: palette,
+	}
+}
+
+// edgeRunner executes an edge algorithm (per-vertex port colorings) on the
+// entry's []int pool, merges the two endpoint views, and legality-checks the
+// result before it can reach the cache.
+func edgeRunner(algo func(dist.Process) []int, palette int) func(*canonReq) (*record, error) {
+	return func(c *canonReq) (*record, error) {
+		res, err := c.entry.slices().Run(algo, c.opts...)
+		if err != nil {
+			return nil, err
+		}
+		g := c.entry.g
+		colors, err := graph.MergePortColors(g, res.Outputs)
+		if err != nil {
+			return nil, err
+		}
+		if err := graph.CheckEdgeColoring(g, colors); err != nil {
+			return nil, fmt.Errorf("service: %s/%s produced an illegal coloring: %w", c.req.Kind, c.req.Alg, err)
+		}
+		rec := c.baseRecord(palette)
+		rec.colors = colors
+		rec.stats = res.Stats
+		return rec, nil
+	}
+}
+
+// vertexRunner is edgeRunner's vertex-coloring counterpart on the int pool.
+func vertexRunner(algo func(dist.Process) int, palette int) func(*canonReq) (*record, error) {
+	return func(c *canonReq) (*record, error) {
+		res, err := c.entry.ints().Run(algo, c.opts...)
+		if err != nil {
+			return nil, err
+		}
+		if err := graph.CheckVertexColoring(c.entry.g, res.Outputs); err != nil {
+			return nil, fmt.Errorf("service: %s/%s produced an illegal coloring: %w", c.req.Kind, c.req.Alg, err)
+		}
+		rec := c.baseRecord(palette)
+		rec.colors = res.Outputs
+		rec.stats = res.Stats
+		return rec, nil
+	}
+}
+
+// emptyEdges answers edge requests on edgeless graphs without a run: there
+// is nothing to color and no run to account.
+func emptyEdges(c *canonReq) (*record, error) {
+	rec := c.baseRecord(0)
+	rec.colors = []int{}
+	return rec, nil
+}
+
+// isolatedVertices answers vertex "be" requests on edgeless graphs with the
+// 1-coloring, still executed as a real (zero-round) run so the accounting
+// pipeline stays uniform.
+func isolatedVertices(c *canonReq) (*record, error) {
+	res, err := c.entry.ints().Run(func(v dist.Process) int { return 1 }, c.opts...)
+	if err != nil {
+		return nil, err
+	}
+	palette := 0
+	if c.entry.g.N() > 0 {
+		palette = 1
+	}
+	rec := c.baseRecord(palette)
+	rec.colors = res.Outputs
+	rec.stats = res.Stats
+	return rec, nil
+}

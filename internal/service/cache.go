@@ -1,0 +1,88 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// CacheStats is a point-in-time snapshot of the result cache.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+}
+
+// resultCache is a bounded LRU map from cache key to wire-encoded response
+// record. Determinism makes it trivially coherent: a key has exactly one
+// possible value, so there are no invalidation or versioning concerns —
+// eviction is purely a capacity matter.
+type resultCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *cacheEntry
+	entries map[string]*list.Element
+	stats   CacheStats
+}
+
+type cacheEntry struct {
+	key string
+	val []byte
+}
+
+func newResultCache(capacity int) *resultCache {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &resultCache{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the cached record bytes for key, if present. The returned
+// slice is shared and must be treated as read-only.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.stats.Misses++
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	c.stats.Hits++
+	return el.Value.(*cacheEntry).val, true
+}
+
+// put stores the record bytes under key, evicting the least recently used
+// entries over capacity. Storing an existing key is a no-op: determinism
+// guarantees the value is identical.
+func (c *resultCache) put(key string, val []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
+	c.stats.Bytes += int64(len(val))
+	for c.order.Len() > c.cap {
+		el := c.order.Back()
+		ent := el.Value.(*cacheEntry)
+		c.order.Remove(el)
+		delete(c.entries, ent.key)
+		c.stats.Bytes -= int64(len(ent.val))
+		c.stats.Evictions++
+	}
+}
+
+func (c *resultCache) snapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.order.Len()
+	return s
+}

@@ -1,0 +1,60 @@
+package service
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler returns colord's HTTP API:
+//
+//	POST /v1/color  — body: a Request (JSON); response: a Response (JSON).
+//	                  X-Colord-Cache reports hit|coalesced|miss; the body is
+//	                  byte-identical regardless.
+//	GET  /healthz   — liveness probe.
+//	GET  /statz     — ServiceStats snapshot (JSON).
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/color", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		// Valid requests are a few hundred bytes; refuse streamed novels.
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		resp, outcome, err := s.Handle(req)
+		if err != nil {
+			status := http.StatusUnprocessableEntity
+			if err == ErrClosed {
+				status = http.StatusServiceUnavailable
+			}
+			httpError(w, status, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Colord-Cache", string(outcome))
+		w.Header().Set("X-Colord-Key", resp.Key)
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("GET /statz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		writeJSON(w, s.Stats())
+	})
+	return mux
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	writeJSON(w, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

@@ -1,0 +1,250 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/edgecolor"
+	"repro/internal/exp"
+	"repro/internal/graph"
+	"repro/internal/panconesi"
+)
+
+// directResponse computes the reference answer for req the way the CLIs do:
+// build the graph, one fresh single-threaded dist.Run on the default engine,
+// merge, validate. It shares no execution machinery with the service (no
+// pools, no cache, no batcher), so agreement is evidence, not tautology.
+func directResponse(t *testing.T, req Request) []byte {
+	t.Helper()
+	g, err := req.Graph.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	delta := g.MaxDegree()
+	opts := []dist.Option{dist.WithSeed(req.Seed), dist.WithEngine(dist.Lockstep)}
+	var (
+		colors  []int
+		stats   dist.Stats
+		palette int
+	)
+	switch req.Kind + "/" + req.Alg {
+	case "edge/be":
+		pl, err := core.AutoPlan(delta, 2, 2, 6, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := edgecolor.LegalEdgeColoring(g, pl, edgecolor.Wide, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors, err = graph.MergePortColors(g, res.Outputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, palette = res.Stats, pl.TotalPalette()
+	case "edge/pr":
+		res, err := panconesi.EdgeColoring(g, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors, err = graph.MergePortColors(g, res.Outputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, palette = res.Stats, 2*delta-1
+	case "edge/greedy":
+		res, err := baseline.GreedyEdgeColoring(g, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors, err = graph.MergePortColors(g, res.Outputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		stats, palette = res.Stats, 2*delta-1
+	case "vertex/be":
+		pl, err := core.AutoPlan(delta, 2, 2, 9, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := core.LegalColoring(g, pl, core.StartIDs, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors, stats, palette = res.Outputs, res.Stats, pl.TotalPalette()
+	case "vertex/greedy":
+		res, err := baseline.GreedyVertexColoring(g, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		colors, stats, palette = res.Outputs, res.Stats, delta+1
+	default:
+		t.Fatalf("no direct reference for %s/%s", req.Kind, req.Alg)
+	}
+	resp := &Response{
+		Key:   "",
+		Kind:  req.Kind,
+		Alg:   req.Alg,
+		Graph: req.Graph.String(),
+		N:     g.N(), M: g.M(), Delta: delta,
+		Palette:   palette,
+		NumColors: graph.CountColors(colors),
+		Colors:    colors,
+		Stats:     Stats{Rounds: stats.Rounds, Bytes: stats.Bytes, MaxMessageBytes: stats.MaxMessageBytes},
+	}
+	b, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestStatsDuringBuilds pins the statz/build synchronization: snapshots
+// taken while other goroutines are building graph entries for the first
+// time must not race on the entry's graph pointer (-race enforces).
+func TestStatsDuringBuilds(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for n := 3; n < 40; n++ {
+			req := Request{Kind: "vertex", Alg: "greedy", Graph: exp.GraphSpec{Family: "cycle", N: n}}
+			if _, _, err := s.Handle(req); err != nil {
+				t.Errorf("handle: %v", err)
+				return
+			}
+		}
+	}()
+	for {
+		select {
+		case <-done:
+			if got := s.Stats(); got.Requests == 0 {
+				t.Fatal("no requests recorded")
+			}
+			return
+		default:
+			_ = s.Stats()
+		}
+	}
+}
+
+// TestServiceMatchesDirect is the service-level concurrency test: many
+// clients hammer one Service with a mixed workload (different kinds,
+// algorithms, engines, seeds, graphs — plus deliberate duplicates to drive
+// the coalescing and cache-hit paths), and every single response must be
+// byte-identical to a fresh single-threaded dist.Run of the same request.
+// Run under -race this also validates the batcher/pool/cache locking.
+func TestServiceMatchesDirect(t *testing.T) {
+	reqs := []Request{
+		{Kind: "edge", Alg: "be", Graph: exp.GraphSpec{Family: "gnm", N: 36, M: 100, Seed: 1}},
+		{Kind: "edge", Alg: "be", Graph: exp.GraphSpec{Family: "linegraph", N: 14, M: 30, Seed: 2}},
+		{Kind: "edge", Alg: "pr", Graph: exp.GraphSpec{Family: "gnm", N: 36, M: 100, Seed: 1}},
+		{Kind: "edge", Alg: "pr", Graph: exp.GraphSpec{Family: "regular", N: 24, Deg: 4, Seed: 3}},
+		{Kind: "edge", Alg: "greedy", Graph: exp.GraphSpec{Family: "tree", N: 30, Seed: 4}},
+		{Kind: "edge", Alg: "greedy", Graph: exp.GraphSpec{Family: "cycle", N: 17}},
+		{Kind: "vertex", Alg: "be", Graph: exp.GraphSpec{Family: "powercycle", N: 26, Deg: 3}},
+		{Kind: "vertex", Alg: "be", Graph: exp.GraphSpec{Family: "linegraph", N: 12, M: 22, Seed: 5}},
+		{Kind: "vertex", Alg: "greedy", Graph: exp.GraphSpec{Family: "gnm", N: 40, M: 90, Seed: 6}},
+		{Kind: "vertex", Alg: "greedy", Graph: exp.GraphSpec{Family: "grid", N: 6, M: 5}},
+	}
+	// Seed and engine variants: same graphs, different cache keys (seeds)
+	// or same keys via different engines (engine is excluded from the key).
+	var workload []Request
+	for _, r := range reqs {
+		for _, seed := range []int64{0, 11} {
+			for _, engine := range []string{"", "lockstep", "sharded"} {
+				v := r
+				v.Seed = seed
+				v.Engine = engine
+				workload = append(workload, v)
+			}
+		}
+	}
+	want := make(map[string][]byte) // canonical JSON per (request modulo engine)
+	keyOf := func(r Request) string {
+		r.Engine = ""
+		b, _ := json.Marshal(r)
+		return string(b)
+	}
+	for _, r := range workload {
+		k := keyOf(r)
+		if _, ok := want[k]; !ok {
+			want[k] = directResponse(t, r)
+		}
+	}
+
+	s := New(Config{Workers: 4, CacheEntries: 256, GraphEntries: 16, BatchWindow: 200 * time.Microsecond})
+	defer s.Close()
+
+	// stripKey clears the response's Key field (the direct reference has no
+	// cache key) without otherwise changing the body.
+	stripKey := func(body []byte) ([]byte, error) {
+		var resp Response
+		if err := json.Unmarshal(body, &resp); err != nil {
+			return nil, err
+		}
+		resp.Key = ""
+		return json.Marshal(&resp)
+	}
+
+	const clients = 8
+	const rounds = 3 // every client sends the full workload repeatedly: hits + coalesces
+	var wg sync.WaitGroup
+	errCh := make(chan error, clients)
+	for cl := 0; cl < clients; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			for round := 0; round < rounds; round++ {
+				for i, r := range workload {
+					// Stagger start points so clients collide on
+					// different requests.
+					r = workload[(i+cl*7)%len(workload)]
+					resp, _, err := s.Handle(r)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					body, err := json.Marshal(resp)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					got, err := stripKey(body)
+					if err != nil {
+						errCh <- err
+						return
+					}
+					if !bytes.Equal(got, want[keyOf(r)]) {
+						t.Errorf("client %d: response differs from direct dist.Run for %+v", cl, r)
+						return
+					}
+				}
+			}
+		}(cl)
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	st := s.Stats()
+	total := int64(clients * rounds * len(workload))
+	if st.Requests != total {
+		t.Fatalf("requests %d, want %d", st.Requests, total)
+	}
+	if st.Runs != int64(len(want)) {
+		t.Fatalf("runs %d, want exactly %d (one per distinct key)", st.Runs, len(want))
+	}
+	if st.Hits+st.Coalesced+st.Runs < total {
+		t.Fatalf("outcome accounting leaks: %+v vs %d requests", st, total)
+	}
+}

@@ -1,0 +1,340 @@
+// Package service is colord's engine room: a long-running coloring service
+// on top of the deterministic dist runtime.
+//
+// A request names a generated graph (exp.GraphSpec), a coloring kind (edge
+// or vertex), an algorithm, and a seed. The service resolves it against a
+// bounded LRU of built graphs (each carrying reusable dist runner pools),
+// then serves it through three layers:
+//
+//   - a deterministic result cache keyed by a canonical hash of the graph
+//     fingerprint and the output-affecting parameters — the runtime is
+//     deterministic, so a key has exactly one possible value, and a hit
+//     costs zero runtime rounds;
+//   - a micro-batcher: concurrent misses are collected for a short window,
+//     duplicates of the same key are coalesced onto one execution
+//     (single-flight), and distinct jobs of a batch dispatch together;
+//   - a bounded worker stage executing each job on the graph's runner pool
+//     (dist.Pool), so per-vertex runtime state is amortized across requests
+//     touching the same graph.
+//
+// Responses are byte-identical to a direct dist.Run of the same request —
+// cache hits, coalesced waiters, and fresh computations alike — which
+// TestServiceMatchesDirect pins adversarially under -race.
+package service
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dist"
+)
+
+// Config sizes the service. The zero value is usable: every field has a
+// working default.
+type Config struct {
+	// Workers bounds concurrent algorithm executions (and the runner cap of
+	// each graph's pool). <= 0 means 4.
+	Workers int
+	// Engine is the default dist scheduler (requests may override).
+	Engine dist.Engine
+	// CacheEntries bounds the result cache (default 4096).
+	CacheEntries int
+	// GraphEntries bounds the built-graph LRU (default 64).
+	GraphEntries int
+	// BatchWindow is how long the batcher holds the first miss of a batch
+	// waiting for companions (default 200µs). Misses pay up to this much
+	// extra latency; in exchange bursts dispatch as one grouped wave and
+	// same-key arrivals within the window coalesce before any of them
+	// executes. Cache hits never enter the batcher. Latency-critical
+	// deployments can set it to 1ns to make dispatch effectively
+	// immediate.
+	BatchWindow time.Duration
+	// MaxBatch dispatches a batch early once it has this many distinct
+	// jobs (default 64).
+	MaxBatch int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 4096
+	}
+	if c.GraphEntries <= 0 {
+		c.GraphEntries = 64
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 200 * time.Microsecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	return c
+}
+
+// Outcome says how a response was produced; the HTTP layer reports it in the
+// X-Colord-Cache header (never in the body, which stays byte-identical).
+type Outcome string
+
+const (
+	// Hit: served from the result cache, zero runtime rounds.
+	Hit Outcome = "hit"
+	// Coalesced: attached to another request's in-flight execution.
+	Coalesced Outcome = "coalesced"
+	// Miss: this request's execution computed the result.
+	Miss Outcome = "miss"
+)
+
+// flight is one in-flight execution: the job at most one batch carries for a
+// given key at a time. Waiters accumulate until the result lands.
+type flight struct {
+	c       *canonReq
+	waiters []chan flightResult
+}
+
+type flightResult struct {
+	rec []byte
+	err error
+}
+
+// ServiceStats is the /statz snapshot.
+type ServiceStats struct {
+	Requests  int64          `json:"requests"`
+	Hits      int64          `json:"hits"`
+	Coalesced int64          `json:"coalesced"`
+	Runs      int64          `json:"runs"`
+	Errors    int64          `json:"errors"`
+	Batches   int64          `json:"batches"`
+	MaxBatch  int64          `json:"maxBatch"`
+	Cache     CacheStats     `json:"cache"`
+	Pools     []PoolSnapshot `json:"pools"`
+}
+
+// Service is the coloring service. Create with New, serve with Handle (or
+// the HTTP handler from Handler), stop with Close.
+type Service struct {
+	cfg    Config
+	cache  *resultCache
+	graphs *graphCache
+	sem    chan struct{}
+	submit chan *flight
+
+	mu       sync.Mutex
+	inflight map[string]*flight
+	closed   bool
+
+	requests  atomic.Int64
+	hits      atomic.Int64
+	coalesced atomic.Int64
+	runs      atomic.Int64
+	errors    atomic.Int64
+	batches   atomic.Int64
+	maxBatch  atomic.Int64
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New starts a Service with the given configuration.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:      cfg,
+		cache:    newResultCache(cfg.CacheEntries),
+		graphs:   newGraphCache(cfg.GraphEntries, cfg.Workers),
+		sem:      make(chan struct{}, cfg.Workers),
+		submit:   make(chan *flight),
+		inflight: make(map[string]*flight),
+		stop:     make(chan struct{}),
+	}
+	s.wg.Add(1)
+	go s.batchLoop()
+	return s
+}
+
+// Close stops the batcher and closes every runner pool. Handle calls racing
+// with Close may return ErrClosed.
+func (s *Service) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stop)
+	s.wg.Wait()
+	s.graphs.close()
+}
+
+// ErrClosed is returned by Handle after Close.
+var ErrClosed = fmt.Errorf("service: closed")
+
+// Handle serves one request: cache lookup, then coalescing onto an in-flight
+// execution, then a batched fresh execution. Safe for arbitrary concurrency.
+func (s *Service) Handle(req Request) (*Response, Outcome, error) {
+	s.requests.Add(1)
+	c, err := s.resolve(req)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, "", err
+	}
+	if b, ok := s.cache.get(c.key); ok {
+		rec, err := decodeRecord(b)
+		if err != nil {
+			s.errors.Add(1)
+			return nil, "", err
+		}
+		s.hits.Add(1)
+		return rec.response(c.key, c.req.Graph.String()), Hit, nil
+	}
+
+	ch := make(chan flightResult, 1)
+	outcome := Miss
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.errors.Add(1)
+		return nil, "", ErrClosed
+	}
+	f, ok := s.inflight[c.key]
+	if ok {
+		f.waiters = append(f.waiters, ch)
+		outcome = Coalesced
+	} else {
+		f = &flight{c: c, waiters: []chan flightResult{ch}}
+		s.inflight[c.key] = f
+	}
+	s.mu.Unlock()
+	if outcome == Coalesced {
+		s.coalesced.Add(1)
+	} else {
+		select {
+		case s.submit <- f:
+		case <-s.stop:
+			s.fail(f, ErrClosed)
+		}
+	}
+
+	r := <-ch
+	if r.err != nil {
+		s.errors.Add(1)
+		return nil, "", r.err
+	}
+	rec, err := decodeRecord(r.rec)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, "", err
+	}
+	return rec.response(c.key, c.req.Graph.String()), outcome, nil
+}
+
+// batchLoop is the micro-batcher: it collects submitted flights until the
+// batch window closes (measured from the first flight of the batch) or the
+// batch is full, then dispatches the whole batch to the worker stage.
+func (s *Service) batchLoop() {
+	defer s.wg.Done()
+	var batch []*flight
+	timer := time.NewTimer(0)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		s.batches.Add(1)
+		if n := int64(len(batch)); n > s.maxBatch.Load() {
+			s.maxBatch.Store(n)
+		}
+		for _, f := range batch {
+			s.wg.Add(1)
+			go s.exec(f)
+		}
+		batch = nil
+	}
+	for {
+		select {
+		case f := <-s.submit:
+			batch = append(batch, f)
+			if len(batch) == 1 {
+				timer.Reset(s.cfg.BatchWindow)
+			}
+			if len(batch) >= s.cfg.MaxBatch {
+				if !timer.Stop() {
+					<-timer.C
+				}
+				flush()
+			}
+		case <-timer.C:
+			flush()
+		case <-s.stop:
+			for _, f := range batch {
+				s.fail(f, ErrClosed)
+			}
+			// Flights submitted concurrently with shutdown are failed by
+			// Handle's own select; nothing further arrives here.
+			return
+		}
+	}
+}
+
+// exec runs one flight on the bounded worker stage and delivers the wire
+// record to every waiter.
+func (s *Service) exec(f *flight) {
+	defer s.wg.Done()
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+	// A flight for this key may have completed and cached between our
+	// cache miss and this execution; determinism makes recomputing merely
+	// wasteful, so look once more before running.
+	b, ok := s.cache.get(f.c.key)
+	if !ok {
+		s.runs.Add(1)
+		rec, err := f.c.runner(f.c)
+		if err != nil {
+			s.fail(f, err)
+			return
+		}
+		b = rec.encode()
+		s.cache.put(f.c.key, b)
+	}
+	s.mu.Lock()
+	delete(s.inflight, f.c.key)
+	waiters := f.waiters
+	f.waiters = nil
+	s.mu.Unlock()
+	for _, ch := range waiters {
+		ch <- flightResult{rec: b}
+	}
+}
+
+// fail delivers err to every waiter of f and retires the flight.
+func (s *Service) fail(f *flight, err error) {
+	s.mu.Lock()
+	delete(s.inflight, f.c.key)
+	waiters := f.waiters
+	f.waiters = nil
+	s.mu.Unlock()
+	for _, ch := range waiters {
+		ch <- flightResult{err: err}
+	}
+}
+
+// Stats snapshots the service counters, cache, and per-graph runner pools.
+func (s *Service) Stats() ServiceStats {
+	return ServiceStats{
+		Requests:  s.requests.Load(),
+		Hits:      s.hits.Load(),
+		Coalesced: s.coalesced.Load(),
+		Runs:      s.runs.Load(),
+		Errors:    s.errors.Load(),
+		Batches:   s.batches.Load(),
+		MaxBatch:  s.maxBatch.Load(),
+		Cache:     s.cache.snapshot(),
+		Pools:     s.graphs.snapshot(),
+	}
+}

@@ -1,0 +1,342 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exp"
+	"repro/internal/graph"
+)
+
+func testConfig() Config {
+	return Config{Workers: 2, CacheEntries: 128, GraphEntries: 8, BatchWindow: 100 * time.Microsecond}
+}
+
+func gnmReq(kind, alg string, seed int64) Request {
+	return Request{
+		Kind:  kind,
+		Alg:   alg,
+		Graph: exp.GraphSpec{Family: "gnm", N: 40, M: 120, Seed: 1},
+		Seed:  seed,
+	}
+}
+
+func TestHandleKinds(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	cases := []Request{
+		gnmReq("edge", "be", 0),
+		gnmReq("edge", "pr", 0),
+		gnmReq("edge", "greedy", 0),
+		gnmReq("vertex", "be", 0),
+		gnmReq("vertex", "greedy", 0),
+		{Kind: "edge", Alg: "be", Graph: exp.GraphSpec{Family: "gnm", N: 40, M: 120, Seed: 1}, Mode: "short"},
+		{Kind: "vertex", Alg: "be", Graph: exp.GraphSpec{Family: "powercycle", N: 30, Deg: 3}, C: 2},
+		{Kind: "edge", Alg: "pr", Graph: exp.GraphSpec{Family: "path", N: 1}}, // edgeless
+		{Kind: "vertex", Alg: "be", Graph: exp.GraphSpec{Family: "path", N: 3, Seed: 0}},
+	}
+	g, err := (exp.GraphSpec{Family: "gnm", N: 40, M: 120, Seed: 1}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, req := range cases {
+		resp, outcome, err := s.Handle(req)
+		if err != nil {
+			t.Fatalf("%s/%s: %v", req.Kind, req.Alg, err)
+		}
+		if outcome != Miss {
+			t.Fatalf("%s/%s: first request outcome %q, want miss", req.Kind, req.Alg, outcome)
+		}
+		wantLen := resp.N
+		if req.Kind == "edge" {
+			wantLen = resp.M
+		}
+		if len(resp.Colors) != wantLen {
+			t.Fatalf("%s/%s: %d colors for %d items", req.Kind, req.Alg, len(resp.Colors), wantLen)
+		}
+		if resp.NumColors > resp.Palette && resp.Palette > 0 {
+			t.Fatalf("%s/%s: used %d colors, palette bound %d", req.Kind, req.Alg, resp.NumColors, resp.Palette)
+		}
+		if req.Graph.Family == "gnm" && req.Kind == "edge" && len(resp.Colors) > 0 {
+			if err := graph.CheckEdgeColoring(g, resp.Colors); err != nil {
+				t.Fatalf("%s/%s: illegal coloring escaped: %v", req.Kind, req.Alg, err)
+			}
+		}
+	}
+}
+
+func TestCacheHitIsByteIdentical(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	req := gnmReq("edge", "be", 7)
+	fresh, outcome, err := s.Handle(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != Miss {
+		t.Fatalf("outcome %q, want miss", outcome)
+	}
+	runsAfterMiss := s.Stats().Runs
+	hit, outcome, err := s.Handle(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != Hit {
+		t.Fatalf("outcome %q, want hit", outcome)
+	}
+	if got := s.Stats(); got.Runs != runsAfterMiss {
+		t.Fatalf("cache hit executed a run: %d -> %d", runsAfterMiss, got.Runs)
+	}
+	a, _ := json.Marshal(fresh)
+	b, _ := json.Marshal(hit)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("hit body differs from fresh body:\n%s\n%s", a, b)
+	}
+
+	// The same request on a different engine must also hit: outputs are
+	// engine-independent, so the key excludes the engine.
+	req.Engine = "lockstep"
+	if _, outcome, err = s.Handle(req); err != nil || outcome != Hit {
+		t.Fatalf("other-engine request: outcome %q err %v, want hit", outcome, err)
+	}
+	// A different seed is a different result.
+	req2 := gnmReq("edge", "be", 8)
+	if _, outcome, err = s.Handle(req2); err != nil || outcome != Miss {
+		t.Fatalf("other-seed request: outcome %q err %v, want miss", outcome, err)
+	}
+}
+
+func TestHandleRejectsBadRequests(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	bad := []Request{
+		{Kind: "nope", Alg: "be", Graph: exp.GraphSpec{Family: "path", N: 4}},
+		{Kind: "edge", Alg: "nope", Graph: exp.GraphSpec{Family: "path", N: 4}},
+		{Kind: "edge", Alg: "be", Graph: exp.GraphSpec{Family: "nosuch", N: 4}},
+		{Kind: "edge", Alg: "be", Graph: exp.GraphSpec{Family: "gnm", N: 4, M: 99}},
+		{Kind: "edge", Alg: "be", Graph: exp.GraphSpec{Family: "path", N: 4}, Mode: "nope"},
+		{Kind: "edge", Alg: "be", Graph: exp.GraphSpec{Family: "path", N: 4}, Engine: "nope"},
+		{Kind: "vertex", Alg: "be", Graph: exp.GraphSpec{Family: "path", N: 4}, B: 1},
+	}
+	for _, req := range bad {
+		if _, _, err := s.Handle(req); err == nil {
+			t.Fatalf("%+v: want error", req)
+		}
+	}
+	if errs := s.Stats().Errors; errs != int64(len(bad)) {
+		t.Fatalf("error count %d, want %d", errs, len(bad))
+	}
+}
+
+// TestOptimisticCIsRejected pins the legality firewall: claiming c=1 for a
+// graph with neighborhood independence 2 must yield an error, not an illegal
+// cached coloring.
+func TestOptimisticCIsRejected(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	req := Request{
+		Kind:  "vertex",
+		Alg:   "be",
+		Graph: exp.GraphSpec{Family: "complete", N: 9},
+		C:     1,
+	}
+	resp, _, err := s.Handle(req)
+	if err == nil {
+		// A lucky plan can still be legal; then nothing to assert.
+		if err := graph.CheckVertexColoring(mustBuild(t, req.Graph), resp.Colors); err != nil {
+			t.Fatalf("illegal coloring served: %v", err)
+		}
+	} else if !strings.Contains(err.Error(), "illegal") && !strings.Contains(err.Error(), "service:") && !strings.Contains(err.Error(), "core:") {
+		t.Fatalf("unexpected error shape: %v", err)
+	}
+}
+
+func mustBuild(t *testing.T, spec exp.GraphSpec) *graph.Graph {
+	t.Helper()
+	g, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestAliasedSpecsShareCacheButKeepTheirName: Path(6) and Grid(6,1) build
+// fingerprint-identical graphs, so the second request is a cache hit — but
+// its body must echo its own spec, not the first requester's.
+func TestAliasedSpecsShareCacheButKeepTheirName(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	first, outcome, err := s.Handle(Request{Kind: "vertex", Alg: "greedy", Graph: exp.GraphSpec{Family: "path", N: 6}})
+	if err != nil || outcome != Miss {
+		t.Fatalf("path request: outcome %q err %v", outcome, err)
+	}
+	second, outcome, err := s.Handle(Request{Kind: "vertex", Alg: "greedy", Graph: exp.GraphSpec{Family: "grid", N: 6, M: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if outcome != Hit {
+		t.Fatalf("aliased spec outcome %q, want hit (fingerprints should match)", outcome)
+	}
+	if second.Graph != "grid(w=6,h=1)" {
+		t.Fatalf("aliased hit echoes %q, want the request's own spec", second.Graph)
+	}
+	if first.Graph != "path(n=6)" {
+		t.Fatalf("first response names %q", first.Graph)
+	}
+	a, _ := json.Marshal(first.Colors)
+	b, _ := json.Marshal(second.Colors)
+	if !bytes.Equal(a, b) {
+		t.Fatal("aliased graphs must share colors")
+	}
+}
+
+// TestFailedSpecsDoNotEvict: distinct invalid specs must not consume
+// graph-cache capacity and push out warm graphs.
+func TestFailedSpecsDoNotEvict(t *testing.T) {
+	cfg := testConfig()
+	cfg.GraphEntries = 2
+	s := New(cfg)
+	defer s.Close()
+	warm := Request{Kind: "vertex", Alg: "greedy", Graph: exp.GraphSpec{Family: "cycle", N: 12}}
+	if _, _, err := s.Handle(warm); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < 10; n++ {
+		bad := Request{Kind: "vertex", Alg: "greedy", Graph: exp.GraphSpec{Family: "nosuch", N: n}}
+		if _, _, err := s.Handle(bad); err == nil {
+			t.Fatal("bad spec must error")
+		}
+	}
+	pools := s.Stats().Pools
+	if len(pools) != 1 || pools[0].Graph != "cycle(n=12)" {
+		t.Fatalf("warm graph evicted by failed specs: %+v", pools)
+	}
+}
+
+func TestGraphCacheEviction(t *testing.T) {
+	cfg := testConfig()
+	cfg.GraphEntries = 2
+	s := New(cfg)
+	defer s.Close()
+	for n := 10; n < 16; n++ {
+		req := Request{Kind: "vertex", Alg: "greedy", Graph: exp.GraphSpec{Family: "cycle", N: n}}
+		if _, _, err := s.Handle(req); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(s.Stats().Pools); got > 2 {
+		t.Fatalf("graph cache holds %d entries, cap 2", got)
+	}
+	// Evicted graphs still answer (from the result cache, or rebuilt).
+	req := Request{Kind: "vertex", Alg: "greedy", Graph: exp.GraphSpec{Family: "cycle", N: 10}}
+	if _, outcome, err := s.Handle(req); err != nil || outcome != Hit {
+		t.Fatalf("post-eviction request: outcome %q err %v, want hit", outcome, err)
+	}
+}
+
+func TestResultCacheEviction(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", []byte("1"))
+	c.put("b", []byte("22"))
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.put("c", []byte("333")) // evicts b (LRU)
+	if _, ok := c.get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Fatal("a should have survived (recently used)")
+	}
+	st := c.snapshot()
+	if st.Evictions != 1 || st.Entries != 2 || st.Bytes != int64(len("1")+len("333")) {
+		t.Fatalf("unexpected cache stats: %+v", st)
+	}
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	body, _ := json.Marshal(gnmReq("edge", "pr", 3))
+	var first []byte
+	for i, want := range []Outcome{Miss, Hit} {
+		resp, err := http.Post(srv.URL+"/v1/color", "application/json", bytes.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, b)
+		}
+		if got := Outcome(resp.Header.Get("X-Colord-Cache")); got != want {
+			t.Fatalf("request %d: X-Colord-Cache %q, want %q", i, got, want)
+		}
+		if i == 0 {
+			first = b
+		} else if !bytes.Equal(first, b) {
+			t.Fatalf("hit body differs from miss body:\n%s\n%s", first, b)
+		}
+	}
+
+	resp, err := http.Post(srv.URL+"/v1/color", "application/json", strings.NewReader(`{"kind":`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed body: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Get(srv.URL + "/statz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st ServiceStats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Requests < 2 || st.Hits < 1 {
+		t.Fatalf("statz snapshot implausible: %+v", st)
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	rec := &record{
+		kind: "edge", alg: "be",
+		n: 4, m: 3, delta: 2, palette: 9,
+		colors: []int{3, 1, 2},
+	}
+	rec.stats.Rounds, rec.stats.Bytes, rec.stats.MaxMessageBytes = 5, 100, 9
+	got, err := decodeRecord(rec.encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := json.Marshal(rec.response("k", "gnm(n=4,m=3,seed=1)"))
+	b, _ := json.Marshal(got.response("k", "gnm(n=4,m=3,seed=1)"))
+	if !bytes.Equal(a, b) {
+		t.Fatalf("record round trip changed the response:\n%s\n%s", a, b)
+	}
+	if _, err := decodeRecord([]byte("garbage")); err == nil {
+		t.Fatal("garbage record must not decode")
+	}
+}

@@ -51,6 +51,14 @@ func (w *Writer) Raw(b []byte) *Writer {
 	return w
 }
 
+// String appends a length-prefixed string. The coloring service uses it to
+// store request keys and algorithm names inside cached response records.
+func (w *Writer) String(s string) *Writer {
+	w.Uint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+	return w
+}
+
 // Bytes returns the encoded message. The Writer must not be reused after
 // the returned slice escapes to the simulator.
 func (w *Writer) Bytes() []byte { return w.buf }
@@ -132,6 +140,13 @@ func (r *Reader) Raw() []byte {
 	out := r.buf[r.off : r.off+int(n)]
 	r.off += int(n)
 	return out
+}
+
+// ReadString decodes a length-prefixed string written by Writer.String.
+// (Deliberately not named String: a side-effecting decode must not satisfy
+// fmt.Stringer, or formatting a Reader would consume its stream.)
+func (r *Reader) ReadString() string {
+	return string(r.Raw())
 }
 
 // Err returns the first decode error, if any.

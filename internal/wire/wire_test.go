@@ -122,3 +122,22 @@ func TestSmallMessagesAreSmall(t *testing.T) {
 		t.Fatalf("20-bit value took %d bytes", len(b))
 	}
 }
+
+func TestRoundTripString(t *testing.T) {
+	f := func(a, b string, x int) bool {
+		var w Writer
+		w.String(a).Int(x).String(b)
+		r := NewReader(w.Bytes())
+		if r.ReadString() != a || r.Int() != x || r.ReadString() != b {
+			return false
+		}
+		return r.Err() == nil && r.Remaining() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader([]byte{0x05, 'a', 'b'})
+	if r.ReadString() != "" || r.Err() == nil {
+		t.Fatal("truncated string must latch an error")
+	}
+}

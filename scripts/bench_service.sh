@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# bench_service.sh — drive the colord service with cmd/loadgen and emit
+# BENCH_service.json through the cmd/benchjson pipeline.
+#
+# Two mixed workloads are measured against an in-process colord (full HTTP
+# round trip on loopback): "small" with few distinct keys (cache-dominated
+# steady state) and "medium" with many keys (execution-heavy). The JSON
+# tracks throughput (req/s), latency (ns/op, p50-ns, p99-ns, max-ns), and
+# cache behavior (hit-rate, coalesce-rate) per workload.
+#
+# Usage:
+#   scripts/bench_service.sh                  # full run, writes BENCH_service.json
+#   DURATION=300ms scripts/bench_service.sh   # quick smoke (CI uses this)
+#   OUT=/dev/stdout scripts/bench_service.sh  # print the JSON instead
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+DURATION="${DURATION:-5s}"
+CLIENTS="${CLIENTS:-8}"
+OUT="${OUT:-BENCH_service.json}"
+TXT="$(mktemp)"
+trap 'rm -f "$TXT"' EXIT
+
+go run ./cmd/loadgen -bench -duration "$DURATION" -clients "$CLIENTS" -mix small -seeds 8 | tee "$TXT"
+go run ./cmd/loadgen -bench -duration "$DURATION" -clients "$CLIENTS" -mix medium -seeds 32 | tee -a "$TXT"
+go run ./cmd/benchjson < "$TXT" > "$OUT"
+echo "wrote $OUT" >&2
