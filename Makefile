@@ -1,10 +1,14 @@
-# Development entry points. CI runs build/vet/test-race plus cover and the
-# bench/service smokes; bench and bench-service are the full measurement runs
-# that refresh BENCH_runtime.json and BENCH_service.json.
+# Development entry points. CI runs three parallel jobs — lint, test-race +
+# cover, and the bench/service smokes with a warn-only regression check —
+# and a nightly workflow runs the fuzz targets at FUZZTIME=5m. bench and
+# bench-service are the full measurement runs that refresh
+# BENCH_runtime.json and BENCH_service.json.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: build test race vet fmt cover bench bench-smoke bench-service bench-service-smoke fuzz-smoke
+.PHONY: build test race vet fmt cover bench bench-smoke bench-service bench-service-smoke bench-check \
+	fuzz-smoke fuzz-builder fuzz-wire-roundtrip fuzz-wire-reader
 
 build:
 	$(GO) build ./...
@@ -47,8 +51,18 @@ bench-service:
 bench-service-smoke:
 	DURATION=300ms OUT=/dev/null scripts/bench_service.sh
 
-# Short fuzz pass over the graph builder and the wire codec seed corpora.
-fuzz-smoke:
-	$(GO) test -fuzz FuzzBuilder -fuzztime 10s -run '^$$' ./internal/graph/
-	$(GO) test -fuzz FuzzRoundTrip -fuzztime 10s -run '^$$' ./internal/wire/
-	$(GO) test -fuzz FuzzReader -fuzztime 10s -run '^$$' ./internal/wire/
+# Rerun the service bench and fail if p50 or req/s regress more than 3x
+# against the committed BENCH_service.json (BENCH_WARN_ONLY=1 in CI).
+bench-check:
+	scripts/bench_check.sh
+
+# Fuzz targets, FUZZTIME each (10s default; the nightly workflow passes 5m).
+fuzz-builder:
+	$(GO) test -fuzz FuzzBuilder -fuzztime $(FUZZTIME) -run '^$$' ./internal/graph/
+fuzz-wire-roundtrip:
+	$(GO) test -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) -run '^$$' ./internal/wire/
+fuzz-wire-reader:
+	$(GO) test -fuzz FuzzReader -fuzztime $(FUZZTIME) -run '^$$' ./internal/wire/
+
+# Short fuzz pass over all targets.
+fuzz-smoke: fuzz-builder fuzz-wire-roundtrip fuzz-wire-reader

@@ -1,0 +1,125 @@
+// Command benchcmp gates service benchmark regressions: it compares a fresh
+// cmd/benchjson document against the committed baseline (BENCH_service.json)
+// and fails when a gated metric regresses by more than the given factor.
+//
+// Gated metrics, per benchmark name present in both documents:
+//
+//   - p50-ns (median latency): regressed when current > factor × baseline;
+//   - req/s (throughput): regressed when current < baseline / factor.
+//
+// Other shared metrics are printed for context but do not gate — tail
+// latency and cache rates are too noisy on shared CI runners to block on.
+// A benchmark present in the baseline but missing from the current run is a
+// regression (the workload silently stopped being measured).
+//
+// Usage:
+//
+//	go run ./cmd/benchcmp -committed BENCH_service.json -current new.json
+//	go run ./cmd/benchcmp -factor 3 -warn ...   # report, never fail (CI)
+//
+// scripts/bench_check.sh wires this behind a quick loadgen pass.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+type result struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+type report struct {
+	Results []result `json:"results"`
+}
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "benchcmp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
+	var (
+		committed = fs.String("committed", "BENCH_service.json", "baseline benchjson document")
+		current   = fs.String("current", "", "fresh benchjson document to gate")
+		factor    = fs.Float64("factor", 3, "allowed regression factor on gated metrics")
+		warn      = fs.Bool("warn", false, "report regressions without failing (CI smoke)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *current == "" {
+		return fmt.Errorf("need -current")
+	}
+	if *factor <= 1 {
+		return fmt.Errorf("-factor must exceed 1, got %v", *factor)
+	}
+	base, err := loadReport(*committed)
+	if err != nil {
+		return err
+	}
+	curRep, err := loadReport(*current)
+	if err != nil {
+		return err
+	}
+	cur := make(map[string]result, len(curRep.Results))
+	for _, r := range curRep.Results {
+		cur[r.Name] = r
+	}
+
+	regressions := 0
+	for _, b := range base.Results {
+		c, ok := cur[b.Name]
+		if !ok {
+			regressions++
+			fmt.Printf("REGRESSION %s: missing from current run\n", b.Name)
+			continue
+		}
+		for _, gate := range []struct {
+			metric  string
+			upIsBad bool
+		}{{"p50-ns", true}, {"req/s", false}} {
+			was, okB := b.Metrics[gate.metric]
+			now, okC := c.Metrics[gate.metric]
+			if !okB || !okC || was == 0 {
+				continue
+			}
+			ratio := now / was
+			bad := (gate.upIsBad && ratio > *factor) || (!gate.upIsBad && ratio < 1 / *factor)
+			tag := "ok        "
+			if bad {
+				regressions++
+				tag = "REGRESSION"
+			}
+			fmt.Printf("%s %s %s: %.0f -> %.0f (%.2fx, allowed %.gx)\n",
+				tag, b.Name, gate.metric, was, now, ratio, *factor)
+		}
+	}
+	if regressions > 0 {
+		if *warn {
+			fmt.Printf("WARN: %d regression(s) against %s (warn-only mode)\n", regressions, *committed)
+			return nil
+		}
+		return fmt.Errorf("%d regression(s) against %s", regressions, *committed)
+	}
+	fmt.Println("no regressions")
+	return nil
+}
+
+func loadReport(path string) (*report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep report
+	if err := json.Unmarshal(b, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &rep, nil
+}

@@ -1,12 +1,21 @@
 // Command loadgen is colord's closed-loop load generator: N concurrent
-// clients replay a mixed coloring workload (generator families × sizes ×
-// algorithms × seeds) against a colord instance and report throughput,
-// latency percentiles, and cache behavior.
+// clients replay a workload against a colord instance and report
+// throughput, latency percentiles, and cache behavior.
+//
+// Two modes:
+//
+//   - -mode color (default): a mixed coloring workload (generator families
+//     × sizes × algorithms × seeds) against /v1/color.
+//   - -mode churn: each client owns a dynamic graph session and streams
+//     deterministic mutation batches (exp.MutationStream; the generator
+//     kind rotates mix/window/hotspot across clients) against /v1/mutate,
+//     measuring mutation throughput and repair latency.
 //
 // With no -addr it starts an in-process colord on a loopback port, so one
 // command measures the full HTTP round trip:
 //
 //	loadgen -duration 5s -clients 8 -mix small
+//	loadgen -mode churn -duration 5s -clients 8 -mix small -batch 16
 //	loadgen -addr http://localhost:7080 -mix medium -seeds 32
 //
 // With -bench the report is emitted in `go test -bench` format, so
@@ -14,6 +23,7 @@
 // committed BENCH_service.json:
 //
 //	BenchmarkColord/mix=small/clients=8  <reqs>  <avg> ns/op  <p50> p50-ns ...
+//	BenchmarkChurn/mix=small/clients=8/batch=16  <reqs>  ... <mut/s> ...
 package main
 
 import (
@@ -82,6 +92,35 @@ type result struct {
 	hits      int64
 	coalesced int64
 	misses    int64
+	mutations int64
+}
+
+// startServer resolves the target base URL, starting an in-process colord
+// on a loopback port when addr is empty. sessions sizes the in-process
+// server's dynamic-session table (0 = server default); churn mode needs it
+// above the client count or concurrent sessions would evict each other
+// mid-stream. cleanup is always non-nil.
+func startServer(addr string, workers, sessions int) (string, func(), error) {
+	if addr != "" {
+		return addr, func() {}, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	svc := service.New(service.Config{Workers: workers, Engine: dist.Sharded, Sessions: sessions})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		svc.Close()
+		return "", func() {}, err
+	}
+	srv := &http.Server{Handler: svc.Handler()}
+	go srv.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Fprintf(os.Stderr, "loadgen: in-process colord on %s (workers=%d)\n", base, workers)
+	return base, func() {
+		srv.Close()
+		svc.Close()
+	}, nil
 }
 
 func run(args []string) error {
@@ -90,17 +129,25 @@ func run(args []string) error {
 		addr     = fs.String("addr", "", "colord base URL (empty = start an in-process colord)")
 		duration = fs.Duration("duration", 5*time.Second, "how long to drive load")
 		clients  = fs.Int("clients", 8, "concurrent closed-loop clients")
+		mode     = fs.String("mode", "color", "workload mode: color|churn")
 		mixName  = fs.String("mix", "small", "workload mix: small|medium")
-		seeds    = fs.Int("seeds", 8, "distinct algorithm seeds per template (controls the miss rate)")
-		engine   = fs.String("engine", "", "request-level engine override (empty = server default)")
+		seeds    = fs.Int("seeds", 8, "distinct algorithm seeds per template (controls the miss rate; color mode)")
+		batch    = fs.Int("batch", 16, "mutations per request (churn mode)")
+		engine   = fs.String("engine", "", "request-level engine override (empty = server default; color mode)")
 		workers  = fs.Int("workers", 0, "in-process server workers (0 = GOMAXPROCS)")
 		bench    = fs.Bool("bench", false, "emit the report in `go test -bench` format")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *clients < 1 || *seeds < 1 || *duration <= 0 {
-		return fmt.Errorf("need -clients >= 1, -seeds >= 1, -duration > 0 (got %d, %d, %v)", *clients, *seeds, *duration)
+	if *clients < 1 || *seeds < 1 || *duration <= 0 || *batch < 1 {
+		return fmt.Errorf("need -clients >= 1, -seeds >= 1, -batch >= 1, -duration > 0 (got %d, %d, %d, %v)", *clients, *seeds, *batch, *duration)
+	}
+	if *mode == "churn" {
+		return runChurn(*addr, *duration, *clients, *mixName, *batch, *workers, *bench)
+	}
+	if *mode != "color" {
+		return fmt.Errorf("unknown mode %q (want color or churn)", *mode)
 	}
 	templates, err := mixes(*mixName)
 	if err != nil {
@@ -128,24 +175,11 @@ func run(args []string) error {
 		}
 	}
 
-	base := *addr
-	if base == "" {
-		w := *workers
-		if w <= 0 {
-			w = runtime.GOMAXPROCS(0)
-		}
-		svc := service.New(service.Config{Workers: w, Engine: dist.Sharded})
-		defer svc.Close()
-		ln, err := net.Listen("tcp", "127.0.0.1:0")
-		if err != nil {
-			return err
-		}
-		srv := &http.Server{Handler: svc.Handler()}
-		go srv.Serve(ln)
-		defer srv.Close()
-		base = "http://" + ln.Addr().String()
-		fmt.Fprintf(os.Stderr, "loadgen: in-process colord on %s (workers=%d)\n", base, w)
+	base, cleanup, err := startServer(*addr, *workers, 0)
+	if err != nil {
+		return err
 	}
+	defer cleanup()
 	url := base + "/v1/color"
 
 	transport := &http.Transport{MaxIdleConnsPerHost: *clients}
@@ -236,5 +270,168 @@ func run(args []string) error {
 	fmt.Printf("latency: avg=%v p50=%v p99=%v max=%v\n", avg, pct(0.50), pct(0.99), total.latencies[len(total.latencies)-1])
 	fmt.Printf("cache: %d hits (%.1f%%), %d coalesced, %d misses\n",
 		total.hits, 100*hitRate, total.coalesced, total.misses)
+	return nil
+}
+
+// churnBases names the session base graphs of the churn mixes.
+func churnBases(name string) (exp.GraphSpec, error) {
+	switch name {
+	case "small":
+		return exp.GraphSpec{Family: "gnm", N: 128, M: 384, Seed: 1}, nil
+	case "medium":
+		return exp.GraphSpec{Family: "gnm", N: 512, M: 1536, Seed: 1}, nil
+	default:
+		return exp.GraphSpec{}, fmt.Errorf("unknown mix %q (want small or medium)", name)
+	}
+}
+
+// churnKinds rotates the stream generator across clients, so one run mixes
+// steady mixes, sliding windows, and hotspot hammering.
+var churnKinds = []string{"mix", "window", "hotspot"}
+
+// runChurn drives the dynamic-session API: every client owns one session
+// and streams deterministic mutation batches at it, rolling over to a fresh
+// session when its (long) pre-generated stream runs out. Reported latency is
+// per mutate request (one batch = one repair per op, server-side).
+func runChurn(addr string, duration time.Duration, clients int, mixName string, batch, workers int, bench bool) error {
+	base, err := churnBases(mixName)
+	if err != nil {
+		return err
+	}
+	// Pre-generate each client's round-0 mutation stream before the clock
+	// starts: ops are only valid when replayed from the session's base, so
+	// the stream must outlast the measurement window, and generation time
+	// must not count against reported throughput. Rollover to a fresh
+	// session (and a freshly generated stream — rare at this length)
+	// handles the tail.
+	const streamOps = 1 << 16
+	genStream := func(c, round int) (exp.MutationStream, []exp.Mutation, error) {
+		stream := exp.MutationStream{
+			Kind: churnKinds[c%len(churnKinds)],
+			Base: base,
+			Ops:  streamOps,
+			Seed: int64(1 + c + round*clients),
+		}
+		_, muts, err := stream.Generate()
+		return stream, muts, err
+	}
+	initial := make([][]exp.Mutation, clients)
+	for c := range initial {
+		var err error
+		if _, initial[c], err = genStream(c, 0); err != nil {
+			return err
+		}
+	}
+	// The in-process session table must hold every client's live session
+	// plus rollover slack, or concurrent sessions evict each other
+	// mid-stream. (Against an external -addr, the server's own -sessions
+	// flag must exceed -clients the same way.)
+	serverURL, cleanup, err := startServer(addr, workers, 4*clients)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	url := serverURL + "/v1/mutate"
+
+	transport := &http.Transport{MaxIdleConnsPerHost: clients}
+	client := &http.Client{Transport: transport}
+	deadline := time.Now().Add(duration)
+	results := make([]result, clients)
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			res := &results[c]
+			for round := 0; time.Now().Before(deadline); round++ {
+				muts := initial[c]
+				if round > 0 {
+					var err error
+					if _, muts, err = genStream(c, round); err != nil {
+						res.errors++
+						return
+					}
+				}
+				session := fmt.Sprintf("churn-%d-%d", c, round)
+				exhausted := true
+				for off := 0; off < len(muts); off += batch {
+					if !time.Now().Before(deadline) {
+						exhausted = false
+						break
+					}
+					end := off + batch
+					if end > len(muts) {
+						end = len(muts)
+					}
+					body, err := json.Marshal(service.MutateRequest{
+						Session: session,
+						Base:    &base,
+						Ops:     muts[off:end],
+					})
+					if err != nil {
+						res.errors++
+						return
+					}
+					start := time.Now()
+					resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+					if err != nil {
+						res.errors++
+						continue
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					res.requests++
+					res.latencies = append(res.latencies, time.Since(start))
+					if resp.StatusCode != http.StatusOK {
+						res.errors++
+						continue
+					}
+					res.mutations += int64(end - off)
+				}
+				if !exhausted {
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+
+	var total result
+	for i := range results {
+		total.requests += results[i].requests
+		total.errors += results[i].errors
+		total.mutations += results[i].mutations
+		total.latencies = append(total.latencies, results[i].latencies...)
+	}
+	if total.errors > 0 {
+		return fmt.Errorf("%d request errors (of %d)", total.errors, total.requests)
+	}
+	if total.requests == 0 {
+		return fmt.Errorf("no requests completed within %v", duration)
+	}
+	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
+	pct := func(p float64) time.Duration {
+		return total.latencies[int(p*float64(len(total.latencies)-1))]
+	}
+	var sum time.Duration
+	for _, l := range total.latencies {
+		sum += l
+	}
+	avg := sum / time.Duration(len(total.latencies))
+	rps := float64(total.requests) / duration.Seconds()
+	mps := float64(total.mutations) / duration.Seconds()
+
+	if bench {
+		fmt.Printf("goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
+		fmt.Printf("BenchmarkChurn/mix=%s/clients=%d/batch=%d \t%8d\t%12d ns/op\t%12d p50-ns\t%12d p99-ns\t%12d max-ns\t%10.1f req/s\t%10.1f mut/s\n",
+			mixName, clients, batch, total.requests, avg.Nanoseconds(),
+			pct(0.50).Nanoseconds(), pct(0.99).Nanoseconds(),
+			total.latencies[len(total.latencies)-1].Nanoseconds(), rps, mps)
+		return nil
+	}
+	fmt.Printf("mode=churn mix=%s clients=%d batch=%d duration=%v\n", mixName, clients, batch, duration)
+	fmt.Printf("requests: %d (%.1f req/s), mutations: %d (%.1f mut/s), errors: %d\n",
+		total.requests, rps, total.mutations, mps, total.errors)
+	fmt.Printf("latency: avg=%v p50=%v p99=%v max=%v\n", avg, pct(0.50), pct(0.99), total.latencies[len(total.latencies)-1])
 	return nil
 }

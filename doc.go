@@ -20,7 +20,13 @@
 // cache keyed by canonical graph fingerprints, a request micro-batcher, and
 // per-graph pools of reusable runners; cmd/loadgen drives it with mixed
 // closed-loop workloads and exports latency/throughput measurements as
-// BENCH_service.json.
+// BENCH_service.json. Locality makes them maintainable: internal/dynamic
+// keeps a legal edge coloring across edge insertions and deletions by
+// running the dist engines on only the induced repair region (POST
+// /v1/mutate serves named mutable graph sessions; loadgen's churn mode
+// measures mutation throughput against deterministic exp.MutationStream
+// workloads), with the maintained coloring byte-identical to a documented
+// canonical recompute of the mutated graph at every step.
 //
 // Start at DESIGN.md for the system inventory, README.md for the
 // quickstarts, EXPERIMENTS.md for the measured reproduction of every table

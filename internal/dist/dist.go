@@ -127,17 +127,25 @@ type Stats struct {
 	// Rounds is the number of synchronous rounds executed: rounds in which
 	// at least one vertex called Round. The implicit final "round" in which
 	// every remaining vertex halts is not counted.
-	Rounds int
+	Rounds int `json:"rounds"`
 	// Bytes is the total size of all messages sent, including messages
 	// dropped because their destination had already halted.
-	Bytes int
+	Bytes int `json:"bytes"`
 	// MaxMessageBytes is the size of the largest single message sent.
-	MaxMessageBytes int
+	MaxMessageBytes int `json:"maxMessageBytes"`
+	// Activations is the total number of vertex activations that reached
+	// Round: the sum over rounds of the vertices still participating. It is
+	// the sequential work measure of a run — a full run costs on the order
+	// of n·Rounds activations, while a repair confined to a k-vertex
+	// subgraph (package dynamic) costs O(k·Rounds) no matter how large the
+	// surrounding graph is. Engine-independent, like every Stats field.
+	Activations int `json:"activations"`
 }
 
-// String renders the stats compactly, e.g. "rounds=12 bytes=4096 maxMsg=9B".
+// String renders the stats compactly, e.g.
+// "rounds=12 bytes=4096 maxMsg=9B acts=96".
 func (s Stats) String() string {
-	return fmt.Sprintf("rounds=%d bytes=%d maxMsg=%dB", s.Rounds, s.Bytes, s.MaxMessageBytes)
+	return fmt.Sprintf("rounds=%d bytes=%d maxMsg=%dB acts=%d", s.Rounds, s.Bytes, s.MaxMessageBytes, s.Activations)
 }
 
 // Result carries the per-vertex outputs and the measured cost of a run.

@@ -510,6 +510,7 @@ func (s *sched[T]) run() (err error) {
 			return nil
 		}
 		s.res.Stats.Rounds++
+		s.res.Stats.Activations += len(arrived)
 		if s.cfg.maxRounds > 0 && s.res.Stats.Rounds > s.cfg.maxRounds {
 			return fmt.Errorf("dist: round cap %d exceeded after %v; raise it with WithMaxRounds", s.cfg.maxRounds, s.res.Stats)
 		}

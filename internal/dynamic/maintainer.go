@@ -1,0 +1,661 @@
+package dynamic
+
+import (
+	"container/list"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/dist"
+	"repro/internal/exp"
+	"repro/internal/graph"
+)
+
+// Config sizes a Maintainer. The zero value is usable.
+type Config struct {
+	// Engine is the dist scheduler repair runs execute on.
+	Engine dist.Engine
+	// Shards pins the shard count of Sharded runs (0 = GOMAXPROCS).
+	Shards int
+	// Runners caps each pooled runner set (<= 0 means 2). Repair subgraphs
+	// recur under churn — hotspot streams especially — so runners are pooled
+	// per subgraph fingerprint.
+	Runners int
+	// PoolEntries bounds the LRU of runner pools keyed by repair-subgraph
+	// fingerprint (<= 0 means 16). The full graph's pool for canonical
+	// recomputes lives in the same LRU.
+	PoolEntries int
+	// CompactPending is the churn-layer size that triggers compaction back
+	// to CSR: 0 means the adaptive default max(64, m/4); < 0 disables
+	// auto-compaction (Compact can still be called explicitly).
+	CompactPending int
+}
+
+// Report is the scope of one mutation's repair: how much of the graph the
+// change actually touched. Sum of Stats over repairs is in Stats.
+type Report struct {
+	// Dirty is the number of edges whose color changed (and were recolored
+	// by the repair run). 0 means the mutation needed no recoloring at all
+	// (a deletion whose cascade is empty).
+	Dirty int `json:"dirty"`
+	// Boundary is the number of committed edges adjacent to the dirty set
+	// whose colors entered the repair as constraints.
+	Boundary int `json:"boundary"`
+	// Vertices is the vertex count of the induced repair subgraph.
+	Vertices int `json:"vertices"`
+	// Stats is the cost of the repair run (zero if Dirty == 0). Activations
+	// is bounded by Vertices·Rounds — the affected region, not n.
+	Stats dist.Stats `json:"stats"`
+}
+
+func (r *Report) add(o Report) {
+	r.Dirty += o.Dirty
+	r.Boundary += o.Boundary
+	r.Vertices += o.Vertices
+	r.Stats.Rounds += o.Stats.Rounds
+	r.Stats.Bytes += o.Stats.Bytes
+	r.Stats.Activations += o.Stats.Activations
+	if o.Stats.MaxMessageBytes > r.Stats.MaxMessageBytes {
+		r.Stats.MaxMessageBytes = o.Stats.MaxMessageBytes
+	}
+}
+
+// Stats is the cumulative accounting of a Maintainer.
+type Stats struct {
+	Mutations int64 `json:"mutations"`
+	Inserts   int64 `json:"inserts"`
+	Deletes   int64 `json:"deletes"`
+	// Repairs counts the distributed repair runs (mutations with Dirty > 0).
+	Repairs int64 `json:"repairs"`
+	// RepairedEdges / RepairVertices / RepairRounds / RepairActivations sum
+	// the per-repair Report fields; RepairActivations versus
+	// FullActivations is the locality claim in numbers.
+	RepairedEdges     int64 `json:"repairedEdges"`
+	RepairVertices    int64 `json:"repairVertices"`
+	RepairRounds      int64 `json:"repairRounds"`
+	RepairActivations int64 `json:"repairActivations"`
+	// MaxDirty is the largest single repair.
+	MaxDirty int `json:"maxDirty"`
+	// FullRuns counts whole-graph canonical runs (the initial coloring);
+	// FullActivations sums their activation counts.
+	FullRuns        int64 `json:"fullRuns"`
+	FullActivations int64 `json:"fullActivations"`
+	// Compactions counts overlay compactions back to CSR.
+	Compactions int64 `json:"compactions"`
+}
+
+// Maintainer owns a mutable graph (a graph.Overlay) and keeps the canonical
+// edge coloring of its current state: after every Insert or Delete it
+// discovers the exact set of edges whose canonical color changed, runs the
+// distributed repair on the induced subgraph, splices the result back, and
+// legality-checks the seam. At all times Colors() is byte-identical to
+// CanonicalColors(Graph()) — the documented recompute contract — while
+// costing only the affected region per mutation. Safe for concurrent use;
+// mutations serialize.
+type Maintainer struct {
+	mu     sync.Mutex
+	cfg    Config
+	ov     *graph.Overlay
+	colors map[graph.Edge]int
+	pools  *poolLRU
+	stats  Stats
+	closed bool
+
+	// scratch reused across repairs
+	nbrBuf []int32
+}
+
+// New builds a Maintainer over base (which must carry default vertex
+// identifiers) and computes the initial canonical coloring with a
+// distributed full run.
+func New(base *graph.Graph, cfg Config) (*Maintainer, error) {
+	if cfg.Runners <= 0 {
+		cfg.Runners = 2
+	}
+	if cfg.PoolEntries <= 0 {
+		cfg.PoolEntries = 16
+	}
+	ov, err := graph.NewOverlay(base)
+	if err != nil {
+		return nil, err
+	}
+	m := &Maintainer{
+		cfg:    cfg,
+		ov:     ov,
+		colors: make(map[graph.Edge]int, base.M()),
+		pools:  newPoolLRU(cfg.PoolEntries, cfg.Runners),
+	}
+	if err := m.recolorAll(base); err != nil {
+		m.pools.close()
+		return nil, err
+	}
+	return m, nil
+}
+
+// recolorAll replaces the whole coloring with the canonical coloring of g,
+// computed distributedly on g's pooled runners. Caller holds mu (or is New).
+func (m *Maintainer) recolorAll(g *graph.Graph) error {
+	pool := m.pools.get(g)
+	colors, stats, err := CanonicalRun(g, pool.Run, m.opts()...)
+	if err != nil {
+		return err
+	}
+	clear(m.colors)
+	for id, e := range g.Edges() {
+		m.colors[e] = colors[id]
+	}
+	m.stats.FullRuns++
+	m.stats.FullActivations += int64(stats.Activations)
+	return nil
+}
+
+func (m *Maintainer) opts() []dist.Option {
+	return []dist.Option{dist.WithEngine(m.cfg.Engine), dist.WithShards(m.cfg.Shards)}
+}
+
+// Insert adds the edge (u, v) and repairs the coloring. The returned Report
+// is the repair's scope.
+func (m *Maintainer) Insert(u, v int) (Report, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Report{}, errClosed
+	}
+	if err := m.ov.Insert(u, v); err != nil {
+		return Report{}, err
+	}
+	m.stats.Mutations++
+	m.stats.Inserts++
+	rep, err := m.repair([]graph.Edge{canonEdge(u, v)})
+	if err != nil {
+		// The overlay mutated but the coloring did not: serving it would
+		// violate the contract, so the maintainer poisons itself.
+		m.closed = true
+		m.pools.close()
+		return rep, err
+	}
+	m.maybeCompact()
+	return rep, nil
+}
+
+// Delete removes the edge (u, v) and repairs the coloring. Deletions often
+// repair for free: removing a constraint only lets later edges move to
+// smaller colors, and the cascade is empty whenever no incident successor
+// can improve.
+func (m *Maintainer) Delete(u, v int) (Report, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return Report{}, errClosed
+	}
+	e := canonEdge(u, v)
+	if err := m.ov.Delete(u, v); err != nil {
+		return Report{}, err
+	}
+	delete(m.colors, e)
+	m.stats.Mutations++
+	m.stats.Deletes++
+	// The deleted edge's color was an input to every incident lexicographic
+	// successor; those are the change-propagation seeds.
+	seeds := m.incidentSuccessors(e)
+	rep, err := m.repair(seeds)
+	if err != nil {
+		m.closed = true // see Insert: a failed repair poisons the maintainer
+		m.pools.close()
+		return rep, err
+	}
+	m.maybeCompact()
+	return rep, nil
+}
+
+var errClosed = errors.New("dynamic: maintainer closed")
+
+func canonEdge(u, v int) graph.Edge {
+	if u > v {
+		u, v = v, u
+	}
+	return graph.Edge{U: u, V: v}
+}
+
+func lexLessEdge(a, b graph.Edge) bool {
+	if a.U != b.U {
+		return a.U < b.U
+	}
+	return a.V < b.V
+}
+
+// incidentSuccessors lists the current edges incident to e that follow it
+// lexicographically, deduplicated (an edge sharing both endpoints cannot
+// exist in a simple graph, so the two endpoint scans are disjoint except
+// for e itself, which is excluded by the strict comparison).
+func (m *Maintainer) incidentSuccessors(e graph.Edge) []graph.Edge {
+	var out []graph.Edge
+	for _, w := range [2]int{e.U, e.V} {
+		m.nbrBuf = m.ov.AppendNeighbors(w, m.nbrBuf[:0])
+		for _, x := range m.nbrBuf {
+			f := canonEdge(w, int(x))
+			if lexLessEdge(e, f) {
+				out = append(out, f)
+			}
+		}
+	}
+	return out
+}
+
+// repair runs the change-propagation discovery from the seed edges and, if
+// any canonical color actually changes, recolors the dirty set with a
+// distributed run on the induced repair subgraph. Caller holds mu.
+func (m *Maintainer) repair(seeds []graph.Edge) (Report, error) {
+	dirty, staged := m.discover(seeds)
+	if len(dirty) == 0 {
+		return Report{}, nil
+	}
+	sub, origVerts, forbidden, boundary := m.repairSubgraph(dirty)
+	pool := m.pools.get(sub)
+	res, err := pool.Run(repairAlgo(sub, forbidden), m.opts()...)
+	if err != nil {
+		return Report{}, err
+	}
+	subColors, err := graph.MergePortColors(sub, res.Outputs)
+	if err != nil {
+		return Report{}, err
+	}
+	// The distributed run and the discovery pass compute the same greedy
+	// fixpoint by construction; a mismatch means the determinism contract
+	// broke, which must fail loudly, never splice.
+	for id, se := range sub.Edges() {
+		e := canonEdge(origVerts[se.U], origVerts[se.V])
+		if subColors[id] != staged[e] {
+			return Report{}, fmt.Errorf("dynamic: repair of %v computed color %d, discovery staged %d", e, subColors[id], staged[e])
+		}
+	}
+	for e, c := range staged {
+		m.colors[e] = c
+	}
+	if err := m.checkSeam(dirty); err != nil {
+		return Report{}, err
+	}
+	rep := Report{Dirty: len(dirty), Boundary: boundary, Vertices: sub.N(), Stats: res.Stats}
+	m.stats.Repairs++
+	m.stats.RepairedEdges += int64(rep.Dirty)
+	m.stats.RepairVertices += int64(rep.Vertices)
+	m.stats.RepairRounds += int64(rep.Stats.Rounds)
+	m.stats.RepairActivations += int64(rep.Stats.Activations)
+	if rep.Dirty > m.stats.MaxDirty {
+		m.stats.MaxDirty = rep.Dirty
+	}
+	return rep, nil
+}
+
+// discover runs change propagation: re-evaluate the canonical fixpoint
+// equation at each seed in lexicographic order; every edge whose color
+// changes stages its new color and pushes its incident successors. Edges
+// are processed in lexicographic order (a min-heap), and propagation only
+// ever pushes successors, so when an edge is evaluated all lexicographically
+// smaller colors are final — the staged set is exactly the set of edges on
+// which the canonical colorings of the old and new graphs differ.
+func (m *Maintainer) discover(seeds []graph.Edge) ([]graph.Edge, map[graph.Edge]int) {
+	staged := make(map[graph.Edge]int)
+	var dirty []graph.Edge
+	h := &edgeHeap{}
+	pushed := make(map[graph.Edge]bool)
+	push := func(e graph.Edge) {
+		if !pushed[e] {
+			pushed[e] = true
+			h.push(e)
+		}
+	}
+	for _, e := range seeds {
+		push(e)
+	}
+	used := make(map[int]bool)
+	for h.len() > 0 {
+		e := h.pop()
+		clear(used)
+		for _, w := range [2]int{e.U, e.V} {
+			m.nbrBuf = m.ov.AppendNeighbors(w, m.nbrBuf[:0])
+			for _, x := range m.nbrBuf {
+				f := canonEdge(w, int(x))
+				if !lexLessEdge(f, e) {
+					continue
+				}
+				if c, ok := staged[f]; ok {
+					used[c] = true
+				} else {
+					used[m.colors[f]] = true
+				}
+			}
+		}
+		newC := mex(used)
+		if newC == m.colors[e] { // 0 for a new edge, so an insert always stages
+			continue
+		}
+		staged[e] = newC
+		dirty = append(dirty, e)
+		for _, f := range m.incidentSuccessors(e) {
+			push(f)
+		}
+	}
+	sort.Slice(dirty, func(i, j int) bool { return lexLessEdge(dirty[i], dirty[j]) })
+	return dirty, staged
+}
+
+// repairSubgraph builds the induced repair subgraph: exactly the dirty
+// edges, on their endpoints (relabelled order-preservingly, so lexicographic
+// edge order carries over). forbidden[subEdgeID] lists the colors of
+// committed lexicographically smaller incident edges — the boundary
+// constraints; boundary counts the distinct committed edges involved.
+func (m *Maintainer) repairSubgraph(dirty []graph.Edge) (*graph.Graph, []int, [][]int, int) {
+	dirtySet := make(map[graph.Edge]bool, len(dirty))
+	vertSet := make(map[int]bool)
+	for _, e := range dirty {
+		dirtySet[e] = true
+		vertSet[e.U] = true
+		vertSet[e.V] = true
+	}
+	origVerts := make([]int, 0, len(vertSet))
+	for v := range vertSet {
+		origVerts = append(origVerts, v)
+	}
+	sort.Ints(origVerts)
+	toSub := make(map[int]int, len(origVerts))
+	for i, v := range origVerts {
+		toSub[v] = i
+	}
+	b := graph.NewBuilder(len(origVerts))
+	for _, e := range dirty {
+		_ = b.AddEdge(toSub[e.U], toSub[e.V])
+	}
+	sub := b.Build()
+	forbidden := make([][]int, sub.M())
+	boundarySet := make(map[graph.Edge]bool)
+	used := make(map[int]bool)
+	for id, se := range sub.Edges() {
+		e := canonEdge(origVerts[se.U], origVerts[se.V])
+		clear(used)
+		for _, w := range [2]int{e.U, e.V} {
+			m.nbrBuf = m.ov.AppendNeighbors(w, m.nbrBuf[:0])
+			for _, x := range m.nbrBuf {
+				f := canonEdge(w, int(x))
+				if dirtySet[f] || !lexLessEdge(f, e) {
+					continue
+				}
+				boundarySet[f] = true
+				used[m.colors[f]] = true
+			}
+		}
+		if len(used) > 0 {
+			fb := make([]int, 0, len(used))
+			for c := range used {
+				fb = append(fb, c)
+			}
+			sort.Ints(fb)
+			forbidden[id] = fb
+		}
+	}
+	return sub, origVerts, forbidden, len(boundarySet)
+}
+
+// checkSeam verifies legality locally around the repaired edges: no dirty
+// edge may share a color with any incident edge of the current graph. The
+// canonical contract makes this a no-op in a correct run; it is the cheap
+// guard that a splice bug cannot silently corrupt the maintained coloring.
+func (m *Maintainer) checkSeam(dirty []graph.Edge) error {
+	for _, e := range dirty {
+		c := m.colors[e]
+		for _, w := range [2]int{e.U, e.V} {
+			m.nbrBuf = m.ov.AppendNeighbors(w, m.nbrBuf[:0])
+			for _, x := range m.nbrBuf {
+				f := canonEdge(w, int(x))
+				if f != e && m.colors[f] == c {
+					return fmt.Errorf("dynamic: seam violation: edges %v and %v share color %d", e, f, c)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// maybeCompact compacts the overlay back to CSR when the churn layer
+// outgrows the configured threshold. Compaction changes no colors — the
+// coloring is keyed by endpoints, and the edge set is unchanged.
+func (m *Maintainer) maybeCompact() {
+	if m.cfg.CompactPending < 0 {
+		return
+	}
+	threshold := m.cfg.CompactPending
+	if threshold == 0 {
+		threshold = m.ov.Base().M() / 4
+		if threshold < 64 {
+			threshold = 64
+		}
+	}
+	if m.ov.Pending() >= threshold {
+		m.ov.Compact()
+		m.stats.Compactions++
+	}
+}
+
+// Compact forces an overlay compaction.
+func (m *Maintainer) Compact() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ov.Compact()
+	m.stats.Compactions++
+}
+
+// Graph materializes the current mutated graph (memoized between
+// mutations).
+func (m *Maintainer) Graph() *graph.Graph {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ov.Materialize()
+}
+
+// Colors returns the maintained coloring in the canonical edge-id order of
+// Graph(). It is byte-identical to CanonicalColors(Graph()).
+func (m *Maintainer) Colors() []int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g := m.ov.Materialize()
+	out := make([]int, g.M())
+	for id, e := range g.Edges() {
+		out[id] = m.colors[e]
+	}
+	return out
+}
+
+// Snapshot returns the current fingerprint, shape, and coloring as one
+// atomic read, so concurrent mutations cannot tear a (fingerprint, colors)
+// pair apart — the pair is what fingerprint-keyed caches store.
+func (m *Maintainer) Snapshot() (fp graph.Fingerprint, n, mm, delta int, colors []int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	g := m.ov.Materialize()
+	colors = make([]int, g.M())
+	for id, e := range g.Edges() {
+		colors[id] = m.colors[e]
+	}
+	return m.ov.Fingerprint(), m.ov.N(), m.ov.M(), m.ov.MaxDegree(), colors
+}
+
+// ColorOf returns the color of edge (u, v), if present.
+func (m *Maintainer) ColorOf(u, v int) (int, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.colors[canonEdge(u, v)]
+	return c, ok
+}
+
+// Fingerprint returns the incrementally tracked edge-set fingerprint of the
+// current graph — the cache key the service invalidates on.
+func (m *Maintainer) Fingerprint() graph.Fingerprint {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ov.Fingerprint()
+}
+
+// N, M, MaxDegree report the current shape.
+func (m *Maintainer) N() int { m.mu.Lock(); defer m.mu.Unlock(); return m.ov.N() }
+func (m *Maintainer) M() int { m.mu.Lock(); defer m.mu.Unlock(); return m.ov.M() }
+func (m *Maintainer) MaxDegree() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ov.MaxDegree()
+}
+
+// Apply runs a mutation sequence (exp.MutationStream vocabulary) through
+// the maintainer, one repair per mutation, and returns the aggregated
+// repair scope. It stops at the first failing mutation; applied reports
+// how many mutations landed (they remain applied — an op list is not a
+// transaction), and the error names the failing op.
+func (m *Maintainer) Apply(muts []exp.Mutation) (total Report, applied int, err error) {
+	for i, mut := range muts {
+		var rep Report
+		switch mut.Op {
+		case exp.OpInsert:
+			rep, err = m.Insert(mut.U, mut.V)
+		case exp.OpDelete:
+			rep, err = m.Delete(mut.U, mut.V)
+		default:
+			err = fmt.Errorf("dynamic: unknown mutation op %q", mut.Op)
+		}
+		if err != nil {
+			return total, applied, fmt.Errorf("dynamic: mutation %d (%s %d-%d): %w", i, mut.Op, mut.U, mut.V, err)
+		}
+		applied++
+		total.add(rep)
+	}
+	return total, applied, nil
+}
+
+// Poisoned reports whether a failed repair has permanently disabled the
+// maintainer (see Insert); owners should discard it.
+func (m *Maintainer) Poisoned() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}
+
+// Shape returns the current fingerprint and dimensions as one atomic read,
+// without materializing the coloring — the cheap monitoring counterpart of
+// Snapshot.
+func (m *Maintainer) Shape() (fp graph.Fingerprint, n, mm, delta int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ov.Fingerprint(), m.ov.N(), m.ov.M(), m.ov.MaxDegree()
+}
+
+// Stats snapshots the cumulative accounting.
+func (m *Maintainer) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+// Close releases the pooled runners. Further mutations fail.
+func (m *Maintainer) Close() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return
+	}
+	m.closed = true
+	m.pools.close()
+}
+
+// edgeHeap is a lexicographic min-heap of edges.
+type edgeHeap struct{ es []graph.Edge }
+
+func (h *edgeHeap) len() int { return len(h.es) }
+
+func (h *edgeHeap) push(e graph.Edge) {
+	h.es = append(h.es, e)
+	i := len(h.es) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !lexLessEdge(h.es[i], h.es[p]) {
+			break
+		}
+		h.es[i], h.es[p] = h.es[p], h.es[i]
+		i = p
+	}
+}
+
+func (h *edgeHeap) pop() graph.Edge {
+	top := h.es[0]
+	last := len(h.es) - 1
+	h.es[0] = h.es[last]
+	h.es = h.es[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < len(h.es) && lexLessEdge(h.es[l], h.es[small]) {
+			small = l
+		}
+		if r < len(h.es) && lexLessEdge(h.es[r], h.es[small]) {
+			small = r
+		}
+		if small == i {
+			return top
+		}
+		h.es[i], h.es[small] = h.es[small], h.es[i]
+		i = small
+	}
+}
+
+// poolLRU is a bounded LRU of dist runner pools keyed by graph fingerprint:
+// repair regions recur under churn (hotspot streams re-touch the same
+// neighborhoods), so their runners are worth keeping warm. Eviction closes
+// the pool.
+type poolLRU struct {
+	cap     int
+	runners int
+	order   *list.List
+	entries map[graph.Fingerprint]*list.Element
+}
+
+type poolEntry struct {
+	fp   graph.Fingerprint
+	pool *dist.Pool[[]int]
+}
+
+func newPoolLRU(capacity, runners int) *poolLRU {
+	return &poolLRU{
+		cap:     capacity,
+		runners: runners,
+		order:   list.New(),
+		entries: make(map[graph.Fingerprint]*list.Element, capacity),
+	}
+}
+
+// get returns the pool for g, building one on first use. Two graphs with
+// equal fingerprints are identical, so runners built against the earlier
+// instance execute the later one correctly.
+func (l *poolLRU) get(g *graph.Graph) *dist.Pool[[]int] {
+	fp := g.Fingerprint()
+	if el, ok := l.entries[fp]; ok {
+		l.order.MoveToFront(el)
+		return el.Value.(*poolEntry).pool
+	}
+	ent := &poolEntry{fp: fp, pool: dist.NewPool[[]int](g, l.runners)}
+	l.entries[fp] = l.order.PushFront(ent)
+	for l.order.Len() > l.cap {
+		last := l.order.Back()
+		old := last.Value.(*poolEntry)
+		l.order.Remove(last)
+		delete(l.entries, old.fp)
+		old.pool.Close()
+	}
+	return ent.pool
+}
+
+func (l *poolLRU) close() {
+	for el := l.order.Front(); el != nil; el = el.Next() {
+		el.Value.(*poolEntry).pool.Close()
+	}
+	l.order.Init()
+	l.entries = make(map[graph.Fingerprint]*list.Element)
+}

@@ -1,0 +1,345 @@
+package service
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"repro/internal/dynamic"
+	"repro/internal/exp"
+	"repro/internal/graph"
+	"repro/internal/wire"
+)
+
+// MutateRequest drives one dynamic graph session: a named, server-resident
+// mutable graph whose edge coloring the service maintains incrementally
+// (dynamic.Maintainer). A request either mutates the session (Ops non-empty)
+// or reads it (Ops empty); reads with Colors set return the full maintained
+// coloring and are served through the deterministic result cache, keyed by
+// the session's evolving edge-set fingerprint — any mutation moves the
+// fingerprint, so stale colorings are unreachable by construction.
+type MutateRequest struct {
+	// Session names the dynamic graph. Sessions live in a bounded LRU;
+	// evicting or closing one discards its state.
+	Session string `json:"session"`
+	// Base seeds the session's starting graph; required on first touch,
+	// ignored once the session exists.
+	Base *exp.GraphSpec `json:"base,omitempty"`
+	// Ops are applied in order, one local repair each. An op list is not a
+	// transaction: an invalid op (duplicate insert, delete of a non-edge)
+	// fails the request at that op, earlier ops remain applied, and the
+	// error names the failing op index.
+	Ops []exp.Mutation `json:"ops,omitempty"`
+	// Colors requests the maintained per-edge coloring (canonical edge-id
+	// order of the current graph) in the response.
+	Colors bool `json:"colors,omitempty"`
+}
+
+// MutateResponse reports the session state after the request. Mutating
+// requests additionally carry the repair scope of this call and the
+// session's cumulative totals; cached reads carry only fingerprint-determined
+// fields, so their bodies are byte-identical however they are served.
+type MutateResponse struct {
+	Session     string `json:"session"`
+	Fingerprint string `json:"fingerprint"`
+	N           int    `json:"n"`
+	M           int    `json:"m"`
+	Delta       int    `json:"delta"`
+	// Applied is the number of ops applied by this request.
+	Applied int `json:"applied,omitempty"`
+	// Repair aggregates the repair scope of this request's ops.
+	Repair *dynamic.Report `json:"repair,omitempty"`
+	// Totals is the session's cumulative accounting (not on cached reads:
+	// it is not a function of the fingerprint).
+	Totals    *dynamic.Stats `json:"totals,omitempty"`
+	NumColors int            `json:"numColors,omitempty"`
+	Colors    []int          `json:"colors,omitempty"`
+}
+
+// sessionTable is the bounded LRU of live dynamic sessions. Eviction closes
+// the evicted maintainer — its runner pools and its state.
+type sessionTable struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List
+	entries map[string]*list.Element
+}
+
+type session struct {
+	name string
+	spec exp.GraphSpec
+
+	once sync.Once  // builds mt
+	mu   sync.Mutex // orders mt/err publication for statz peeks
+	mt   *dynamic.Maintainer
+	err  error
+}
+
+// build runs the session's one-time maintainer construction. Request paths
+// order through the Once; the extra publication under mu is for statz
+// snapshots, which peek at sessions they never built.
+func (s *session) build(f func(exp.GraphSpec) (*dynamic.Maintainer, error)) {
+	s.once.Do(func() {
+		mt, err := f(s.spec)
+		s.mu.Lock()
+		s.mt, s.err = mt, err
+		s.mu.Unlock()
+	})
+}
+
+// maintainer returns the published maintainer (nil while unbuilt).
+func (s *session) maintainer() *dynamic.Maintainer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.mt
+}
+
+func newSessionTable(capacity int) *sessionTable {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &sessionTable{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+// get returns the named session, creating it (and evicting the coldest if
+// the table is full) when base is non-nil. Creation errors are surfaced
+// once and the slot is freed, mirroring graphCache.
+func (st *sessionTable) get(name string, base *exp.GraphSpec, build func(exp.GraphSpec) (*dynamic.Maintainer, error)) (*session, error) {
+	st.mu.Lock()
+	el, ok := st.entries[name]
+	if !ok {
+		if base == nil {
+			st.mu.Unlock()
+			return nil, fmt.Errorf("service: unknown session %q and no base spec to create it", name)
+		}
+		el = st.order.PushFront(&session{name: name, spec: *base})
+		st.entries[name] = el
+		for st.order.Len() > st.cap {
+			last := st.order.Back()
+			ent := last.Value.(*session)
+			st.order.Remove(last)
+			delete(st.entries, ent.name)
+			defer closeSession(ent)
+		}
+	} else {
+		st.order.MoveToFront(el)
+	}
+	s := el.Value.(*session)
+	st.mu.Unlock()
+	s.build(build)
+	if s.err != nil {
+		st.mu.Lock()
+		if cur, ok := st.entries[name]; ok && cur.Value.(*session) == s {
+			st.order.Remove(cur)
+			delete(st.entries, name)
+		}
+		st.mu.Unlock()
+	}
+	return s, s.err
+}
+
+func closeSession(s *session) {
+	// Force the once so a concurrent creator cannot resurrect a closed
+	// session's maintainer; losing the race just builds and closes.
+	s.once.Do(func() {
+		s.mu.Lock()
+		s.err = fmt.Errorf("service: session %q evicted", s.name)
+		s.mu.Unlock()
+	})
+	if mt := s.maintainer(); mt != nil {
+		mt.Close()
+	}
+}
+
+// drop removes the named session if it still maps to s, and closes it.
+// Used when a failed repair poisons a maintainer: the name becomes
+// recreatable instead of serving errors until eviction.
+func (st *sessionTable) drop(name string, s *session) {
+	st.mu.Lock()
+	if cur, ok := st.entries[name]; ok && cur.Value.(*session) == s {
+		st.order.Remove(cur)
+		delete(st.entries, name)
+	}
+	st.mu.Unlock()
+	closeSession(s)
+}
+
+// snapshot lists live sessions, most recently used first. The table lock
+// covers only the walk: maintainer queries happen after release, so a
+// session mid-repair can delay its own row but never block the mutate
+// plane (which needs st.mu) behind it.
+func (st *sessionTable) snapshot() []SessionSnapshot {
+	st.mu.Lock()
+	sessions := make([]*session, 0, st.order.Len())
+	for el := st.order.Front(); el != nil; el = el.Next() {
+		sessions = append(sessions, el.Value.(*session))
+	}
+	st.mu.Unlock()
+	out := make([]SessionSnapshot, 0, len(sessions))
+	for _, s := range sessions {
+		snap := SessionSnapshot{Session: s.name, Base: s.spec.String()}
+		if mt := s.maintainer(); mt != nil {
+			fp, n, m, _ := mt.Shape()
+			snap.N, snap.M = n, m
+			snap.Fingerprint = fp.String()
+			snap.Totals = mt.Stats()
+		}
+		out = append(out, snap)
+	}
+	return out
+}
+
+func (st *sessionTable) close() {
+	st.mu.Lock()
+	ents := make([]*session, 0, st.order.Len())
+	for el := st.order.Front(); el != nil; el = el.Next() {
+		ents = append(ents, el.Value.(*session))
+	}
+	st.order.Init()
+	st.entries = map[string]*list.Element{}
+	st.mu.Unlock()
+	for _, s := range ents {
+		closeSession(s)
+	}
+}
+
+// SessionSnapshot reports one dynamic session in /statz.
+type SessionSnapshot struct {
+	Session     string        `json:"session"`
+	Base        string        `json:"base"`
+	N           int           `json:"n"`
+	M           int           `json:"m"`
+	Fingerprint string        `json:"fingerprint"`
+	Totals      dynamic.Stats `json:"totals"`
+}
+
+// Mutate serves one dynamic session request. Mutations always execute;
+// pure coloring reads are answered from the result cache when the session
+// fingerprint has not moved since the coloring was last rendered.
+func (s *Service) Mutate(req MutateRequest) (*MutateResponse, Outcome, error) {
+	s.requests.Add(1)
+	if req.Session == "" {
+		s.errors.Add(1)
+		return nil, "", fmt.Errorf("service: mutate request needs a session name")
+	}
+	sess, err := s.sessions.get(req.Session, req.Base, s.buildMaintainer)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, "", err
+	}
+	if len(req.Ops) == 0 && req.Colors {
+		return s.readColors(req.Session, sess)
+	}
+
+	rep, applied, err := sess.mt.Apply(req.Ops)
+	s.mutations.Add(int64(applied))
+	if err != nil {
+		s.errors.Add(1)
+		if sess.mt.Poisoned() {
+			// A failed repair disables the maintainer permanently; drop the
+			// session so the name can be recreated instead of serving
+			// "maintainer closed" until eviction.
+			s.sessions.drop(req.Session, sess)
+		}
+		if applied > 0 {
+			err = fmt.Errorf("%w (%d earlier op(s) of this request were applied)", err, applied)
+		}
+		return nil, "", err
+	}
+	totals := sess.mt.Stats()
+	resp := &MutateResponse{
+		Session:     req.Session,
+		Fingerprint: sess.mt.Fingerprint().String(),
+		N:           sess.mt.N(),
+		M:           sess.mt.M(),
+		Delta:       sess.mt.MaxDegree(),
+		Applied:     applied,
+		Repair:      &rep,
+		Totals:      &totals,
+	}
+	if req.Colors {
+		resp.Colors = sess.mt.Colors()
+		resp.NumColors = graph.CountColors(resp.Colors)
+	}
+	return resp, Miss, nil
+}
+
+// buildMaintainer creates a session's maintainer from its base spec, using
+// the service's engine.
+func (s *Service) buildMaintainer(spec exp.GraphSpec) (*dynamic.Maintainer, error) {
+	g, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	return dynamic.New(g, dynamic.Config{Engine: s.cfg.Engine})
+}
+
+// readColors serves a pure coloring read through the result cache. The key
+// hashes the session name and its current fingerprint, so every mutation
+// invalidates by moving the key, and a response body is a pure function of
+// its key — cache hits are byte-identical to fresh renders.
+func (s *Service) readColors(name string, sess *session) (*MutateResponse, Outcome, error) {
+	// The snapshot is atomic in the maintainer, so the (fingerprint,
+	// colors) pair cannot be torn by a concurrent mutation — exactly what a
+	// fingerprint-keyed cache entry requires.
+	fp, n, m, delta, colors := sess.mt.Snapshot()
+	var kw wire.Writer
+	kw.String("colord-dynkey-v1").String(name).Raw(fp[:])
+	sum := sha256.Sum256(kw.Bytes())
+	key := hex.EncodeToString(sum[:])
+	if b, ok := s.cache.get(key); ok {
+		resp, err := decodeDynRecord(b)
+		if err != nil {
+			s.errors.Add(1)
+			return nil, "", err
+		}
+		s.hits.Add(1)
+		return resp, Hit, nil
+	}
+	resp := &MutateResponse{
+		Session:     name,
+		Fingerprint: fp.String(),
+		N:           n,
+		M:           m,
+		Delta:       delta,
+		Colors:      colors,
+		NumColors:   graph.CountColors(colors),
+	}
+	s.cache.put(key, encodeDynRecord(resp))
+	return resp, Miss, nil
+}
+
+const dynRecordTag = "colord-dynrec-v1"
+
+func encodeDynRecord(r *MutateResponse) []byte {
+	var w wire.Writer
+	w.String(dynRecordTag)
+	w.String(r.Session).String(r.Fingerprint)
+	w.Int(r.N).Int(r.M).Int(r.Delta).Int(r.NumColors)
+	w.Ints(r.Colors)
+	return w.Bytes()
+}
+
+func decodeDynRecord(b []byte) (*MutateResponse, error) {
+	r := wire.NewReader(b)
+	if tag := r.ReadString(); tag != dynRecordTag {
+		return nil, fmt.Errorf("service: dynamic cache record tag %q, want %q", tag, dynRecordTag)
+	}
+	resp := &MutateResponse{}
+	resp.Session, resp.Fingerprint = r.ReadString(), r.ReadString()
+	resp.N, resp.M, resp.Delta, resp.NumColors = r.Int(), r.Int(), r.Int(), r.Int()
+	resp.Colors = r.Ints()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("service: corrupt dynamic cache record: %w", err)
+	}
+	if resp.Colors == nil {
+		resp.Colors = []int{}
+	}
+	return resp, nil
+}

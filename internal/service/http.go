@@ -10,6 +10,10 @@ import (
 //	POST /v1/color  — body: a Request (JSON); response: a Response (JSON).
 //	                  X-Colord-Cache reports hit|coalesced|miss; the body is
 //	                  byte-identical regardless.
+//	POST /v1/mutate — body: a MutateRequest (JSON); response: a
+//	                  MutateResponse (JSON). Mutations apply local repairs;
+//	                  pure coloring reads serve through the result cache
+//	                  keyed by the session's evolving fingerprint.
 //	GET  /healthz   — liveness probe.
 //	GET  /statz     — ServiceStats snapshot (JSON).
 func (s *Service) Handler() http.Handler {
@@ -35,6 +39,26 @@ func (s *Service) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		w.Header().Set("X-Colord-Cache", string(outcome))
 		w.Header().Set("X-Colord-Key", resp.Key)
+		writeJSON(w, resp)
+	})
+	mux.HandleFunc("POST /v1/mutate", func(w http.ResponseWriter, r *http.Request) {
+		var req MutateRequest
+		// Mutation batches are bounded by the op list; 1 MiB admits ~50k
+		// ops per request, far past the useful batch size.
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		resp, outcome, err := s.Mutate(req)
+		if err != nil {
+			httpError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Colord-Cache", string(outcome))
+		w.Header().Set("X-Colord-Fingerprint", resp.Fingerprint)
 		writeJSON(w, resp)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {

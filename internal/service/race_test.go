@@ -96,7 +96,7 @@ func directResponse(t *testing.T, req Request) []byte {
 		Palette:   palette,
 		NumColors: graph.CountColors(colors),
 		Colors:    colors,
-		Stats:     Stats{Rounds: stats.Rounds, Bytes: stats.Bytes, MaxMessageBytes: stats.MaxMessageBytes},
+		Stats:     Stats{Rounds: stats.Rounds, Bytes: stats.Bytes, MaxMessageBytes: stats.MaxMessageBytes, Activations: stats.Activations},
 	}
 	b, err := json.Marshal(resp)
 	if err != nil {

@@ -55,6 +55,7 @@ type Stats struct {
 	Rounds          int `json:"rounds"`
 	Bytes           int `json:"bytes"`
 	MaxMessageBytes int `json:"maxMessageBytes"`
+	Activations     int `json:"activations"`
 }
 
 // Response is the service's answer. For Kind "edge", Colors[i] is the color
@@ -111,7 +112,7 @@ func (rec *record) encode() []byte {
 	w.String(recordTag)
 	w.String(rec.kind).String(rec.alg)
 	w.Int(rec.n).Int(rec.m).Int(rec.delta).Int(rec.palette)
-	w.Int(rec.stats.Rounds).Int(rec.stats.Bytes).Int(rec.stats.MaxMessageBytes)
+	w.Int(rec.stats.Rounds).Int(rec.stats.Bytes).Int(rec.stats.MaxMessageBytes).Int(rec.stats.Activations)
 	w.Ints(rec.colors)
 	return w.Bytes()
 }
@@ -124,7 +125,7 @@ func decodeRecord(b []byte) (*record, error) {
 	rec := &record{}
 	rec.kind, rec.alg = r.ReadString(), r.ReadString()
 	rec.n, rec.m, rec.delta, rec.palette = r.Int(), r.Int(), r.Int(), r.Int()
-	rec.stats = dist.Stats{Rounds: r.Int(), Bytes: r.Int(), MaxMessageBytes: r.Int()}
+	rec.stats = dist.Stats{Rounds: r.Int(), Bytes: r.Int(), MaxMessageBytes: r.Int(), Activations: r.Int()}
 	rec.colors = r.Ints()
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("service: corrupt cache record: %w", err)
@@ -149,6 +150,7 @@ func (rec *record) response(key, graphName string) *Response {
 			Rounds:          rec.stats.Rounds,
 			Bytes:           rec.stats.Bytes,
 			MaxMessageBytes: rec.stats.MaxMessageBytes,
+			Activations:     rec.stats.Activations,
 		},
 	}
 }

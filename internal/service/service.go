@@ -23,7 +23,7 @@
 package service
 
 import (
-	"fmt"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -54,6 +54,9 @@ type Config struct {
 	// MaxBatch dispatches a batch early once it has this many distinct
 	// jobs (default 64).
 	MaxBatch int
+	// Sessions bounds the live dynamic graph sessions (default 32); the
+	// coldest session is evicted — state and all — when the table is full.
+	Sessions int
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +74,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxBatch <= 0 {
 		c.MaxBatch = 64
+	}
+	if c.Sessions <= 0 {
+		c.Sessions = 32
 	}
 	return c
 }
@@ -102,25 +108,28 @@ type flightResult struct {
 
 // ServiceStats is the /statz snapshot.
 type ServiceStats struct {
-	Requests  int64          `json:"requests"`
-	Hits      int64          `json:"hits"`
-	Coalesced int64          `json:"coalesced"`
-	Runs      int64          `json:"runs"`
-	Errors    int64          `json:"errors"`
-	Batches   int64          `json:"batches"`
-	MaxBatch  int64          `json:"maxBatch"`
-	Cache     CacheStats     `json:"cache"`
-	Pools     []PoolSnapshot `json:"pools"`
+	Requests  int64             `json:"requests"`
+	Hits      int64             `json:"hits"`
+	Coalesced int64             `json:"coalesced"`
+	Runs      int64             `json:"runs"`
+	Errors    int64             `json:"errors"`
+	Batches   int64             `json:"batches"`
+	MaxBatch  int64             `json:"maxBatch"`
+	Mutations int64             `json:"mutations"`
+	Cache     CacheStats        `json:"cache"`
+	Pools     []PoolSnapshot    `json:"pools"`
+	Sessions  []SessionSnapshot `json:"sessions"`
 }
 
 // Service is the coloring service. Create with New, serve with Handle (or
 // the HTTP handler from Handler), stop with Close.
 type Service struct {
-	cfg    Config
-	cache  *resultCache
-	graphs *graphCache
-	sem    chan struct{}
-	submit chan *flight
+	cfg      Config
+	cache    *resultCache
+	graphs   *graphCache
+	sessions *sessionTable
+	sem      chan struct{}
+	submit   chan *flight
 
 	mu       sync.Mutex
 	inflight map[string]*flight
@@ -133,6 +142,7 @@ type Service struct {
 	errors    atomic.Int64
 	batches   atomic.Int64
 	maxBatch  atomic.Int64
+	mutations atomic.Int64
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -145,6 +155,7 @@ func New(cfg Config) *Service {
 		cfg:      cfg,
 		cache:    newResultCache(cfg.CacheEntries),
 		graphs:   newGraphCache(cfg.GraphEntries, cfg.Workers),
+		sessions: newSessionTable(cfg.Sessions),
 		sem:      make(chan struct{}, cfg.Workers),
 		submit:   make(chan *flight),
 		inflight: make(map[string]*flight),
@@ -168,10 +179,11 @@ func (s *Service) Close() {
 	close(s.stop)
 	s.wg.Wait()
 	s.graphs.close()
+	s.sessions.close()
 }
 
 // ErrClosed is returned by Handle after Close.
-var ErrClosed = fmt.Errorf("service: closed")
+var ErrClosed = errors.New("service: closed")
 
 // Handle serves one request: cache lookup, then coalescing onto an in-flight
 // execution, then a batched fresh execution. Safe for arbitrary concurrency.
@@ -334,7 +346,9 @@ func (s *Service) Stats() ServiceStats {
 		Errors:    s.errors.Load(),
 		Batches:   s.batches.Load(),
 		MaxBatch:  s.maxBatch.Load(),
+		Mutations: s.mutations.Load(),
 		Cache:     s.cache.snapshot(),
 		Pools:     s.graphs.snapshot(),
+		Sessions:  s.sessions.snapshot(),
 	}
 }

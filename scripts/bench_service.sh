@@ -2,11 +2,13 @@
 # bench_service.sh — drive the colord service with cmd/loadgen and emit
 # BENCH_service.json through the cmd/benchjson pipeline.
 #
-# Two mixed workloads are measured against an in-process colord (full HTTP
-# round trip on loopback): "small" with few distinct keys (cache-dominated
-# steady state) and "medium" with many keys (execution-heavy). The JSON
-# tracks throughput (req/s), latency (ns/op, p50-ns, p99-ns, max-ns), and
-# cache behavior (hit-rate, coalesce-rate) per workload.
+# Three workloads are measured against an in-process colord (full HTTP
+# round trip on loopback): coloring mixes "small" (few distinct keys,
+# cache-dominated steady state) and "medium" (many keys, execution-heavy),
+# plus the "churn" workload — per-client dynamic sessions streaming mutation
+# batches through /v1/mutate with incremental repair. The JSON tracks
+# throughput (req/s, and mut/s for churn), latency (ns/op, p50-ns, p99-ns,
+# max-ns), and cache behavior (hit-rate, coalesce-rate) per workload.
 #
 # Usage:
 #   scripts/bench_service.sh                  # full run, writes BENCH_service.json
@@ -23,5 +25,6 @@ trap 'rm -f "$TXT"' EXIT
 
 go run ./cmd/loadgen -bench -duration "$DURATION" -clients "$CLIENTS" -mix small -seeds 8 | tee "$TXT"
 go run ./cmd/loadgen -bench -duration "$DURATION" -clients "$CLIENTS" -mix medium -seeds 32 | tee -a "$TXT"
+go run ./cmd/loadgen -bench -mode churn -duration "$DURATION" -clients "$CLIENTS" -mix small -batch 16 | tee -a "$TXT"
 go run ./cmd/benchjson < "$TXT" > "$OUT"
 echo "wrote $OUT" >&2
