@@ -8,7 +8,7 @@ GO ?= go
 FUZZTIME ?= 10s
 
 .PHONY: build test race vet fmt cover bench bench-smoke bench-service bench-service-smoke bench-check \
-	fuzz-smoke fuzz-builder fuzz-wire-roundtrip fuzz-wire-reader
+	bench-runtime-check fuzz-smoke fuzz-builder fuzz-wire-roundtrip fuzz-wire-reader fuzz-dist-compiled
 
 build:
 	$(GO) build ./...
@@ -56,6 +56,12 @@ bench-service-smoke:
 bench-check:
 	scripts/bench_check.sh
 
+# Rerun the runtime bench and fail if ns/op regresses more than 3x — or any
+# deterministic LOCAL-model metric drifts at all — against the committed
+# BENCH_runtime.json. This guards the compiled hot-path speedup.
+bench-runtime-check:
+	scripts/bench_runtime_check.sh
+
 # Fuzz targets, FUZZTIME each (10s default; the nightly workflow passes 5m).
 fuzz-builder:
 	$(GO) test -fuzz FuzzBuilder -fuzztime $(FUZZTIME) -run '^$$' ./internal/graph/
@@ -63,6 +69,8 @@ fuzz-wire-roundtrip:
 	$(GO) test -fuzz FuzzRoundTrip -fuzztime $(FUZZTIME) -run '^$$' ./internal/wire/
 fuzz-wire-reader:
 	$(GO) test -fuzz FuzzReader -fuzztime $(FUZZTIME) -run '^$$' ./internal/wire/
+fuzz-dist-compiled:
+	$(GO) test -fuzz FuzzCompiledAgree -fuzztime $(FUZZTIME) -run '^$$' ./internal/dist/
 
 # Short fuzz pass over all targets.
-fuzz-smoke: fuzz-builder fuzz-wire-roundtrip fuzz-wire-reader
+fuzz-smoke: fuzz-builder fuzz-wire-roundtrip fuzz-wire-reader fuzz-dist-compiled

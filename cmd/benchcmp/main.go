@@ -1,23 +1,31 @@
-// Command benchcmp gates service benchmark regressions: it compares a fresh
-// cmd/benchjson document against the committed baseline (BENCH_service.json)
-// and fails when a gated metric regresses by more than the given factor.
+// Command benchcmp gates benchmark regressions: it compares a fresh
+// cmd/benchjson document against a committed baseline and fails when a gated
+// metric regresses by more than the given factor.
 //
-// Gated metrics, per benchmark name present in both documents:
+// Two baseline kinds are understood, selected by -kind:
 //
-//   - p50-ns (median latency): regressed when current > factor × baseline;
-//   - req/s (throughput): regressed when current < baseline / factor.
+//   - service (default, baseline BENCH_service.json): gates p50-ns (median
+//     latency, regressed when current > factor × baseline) and req/s
+//     (throughput, regressed when current < baseline / factor);
+//   - runtime (baseline BENCH_runtime.json): gates ns/op the same way p50-ns
+//     gates latency. The deterministic LOCAL-model metrics (rounds, msgBytes,
+//     colors, ...) must match exactly — a changed round count is a semantics
+//     change, not noise, so it regresses at any -factor.
 //
 // Other shared metrics are printed for context but do not gate — tail
-// latency and cache rates are too noisy on shared CI runners to block on.
-// A benchmark present in the baseline but missing from the current run is a
-// regression (the workload silently stopped being measured).
+// latency, cache rates, and allocation counts are too noisy on shared CI
+// runners to block on. A benchmark present in the baseline but missing from
+// the current run is a regression (the workload silently stopped being
+// measured).
 //
 // Usage:
 //
 //	go run ./cmd/benchcmp -committed BENCH_service.json -current new.json
+//	go run ./cmd/benchcmp -kind runtime -committed BENCH_runtime.json -current new.json
 //	go run ./cmd/benchcmp -factor 3 -warn ...   # report, never fail (CI)
 //
-// scripts/bench_check.sh wires this behind a quick loadgen pass.
+// scripts/bench_check.sh and scripts/bench_runtime_check.sh wire this behind
+// quick benchmark passes.
 package main
 
 import (
@@ -36,6 +44,11 @@ type report struct {
 	Results []result `json:"results"`
 }
 
+// exactRuntimeMetrics are the deterministic LOCAL-model metrics of a runtime
+// benchmark: same code, same graph, same seed means byte-identical runs, so
+// any drift is a real behavior change.
+var exactRuntimeMetrics = []string{"rounds", "msgBytes", "colors", "maxMsgB", "defect", "depth", "delta"}
+
 func main() {
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "benchcmp:", err)
@@ -46,13 +59,29 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("benchcmp", flag.ContinueOnError)
 	var (
-		committed = fs.String("committed", "BENCH_service.json", "baseline benchjson document")
+		kind      = fs.String("kind", "service", "baseline kind: service (gates p50-ns, req/s) or runtime (gates ns/op, exact LOCAL metrics)")
+		committed = fs.String("committed", "", "baseline benchjson document (default BENCH_<kind>.json)")
 		current   = fs.String("current", "", "fresh benchjson document to gate")
 		factor    = fs.Float64("factor", 3, "allowed regression factor on gated metrics")
 		warn      = fs.Bool("warn", false, "report regressions without failing (CI smoke)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var gates []gate
+	switch *kind {
+	case "service":
+		gates = []gate{{metric: "p50-ns", upIsBad: true}, {metric: "req/s"}}
+	case "runtime":
+		gates = []gate{{metric: "ns/op", upIsBad: true}}
+		for _, m := range exactRuntimeMetrics {
+			gates = append(gates, gate{metric: m, exact: true})
+		}
+	default:
+		return fmt.Errorf("unknown -kind %q (want service or runtime)", *kind)
+	}
+	if *committed == "" {
+		*committed = "BENCH_" + *kind + ".json"
 	}
 	if *current == "" {
 		return fmt.Errorf("need -current")
@@ -81,13 +110,21 @@ func run(args []string) error {
 			fmt.Printf("REGRESSION %s: missing from current run\n", b.Name)
 			continue
 		}
-		for _, gate := range []struct {
-			metric  string
-			upIsBad bool
-		}{{"p50-ns", true}, {"req/s", false}} {
+		for _, gate := range gates {
 			was, okB := b.Metrics[gate.metric]
 			now, okC := c.Metrics[gate.metric]
-			if !okB || !okC || was == 0 {
+			if !okB || !okC {
+				continue
+			}
+			if gate.exact {
+				if now != was {
+					regressions++
+					fmt.Printf("REGRESSION %s %s: %v -> %v (deterministic metric drifted)\n",
+						b.Name, gate.metric, was, now)
+				}
+				continue
+			}
+			if was == 0 {
 				continue
 			}
 			ratio := now / was
@@ -110,6 +147,16 @@ func run(args []string) error {
 	}
 	fmt.Println("no regressions")
 	return nil
+}
+
+// gate is one metric comparison rule.
+type gate struct {
+	metric string
+	// upIsBad: larger-than-baseline is the regression direction (latency).
+	// When false, smaller is (throughput).
+	upIsBad bool
+	// exact: the metric is deterministic; any drift regresses.
+	exact bool
 }
 
 func loadReport(path string) (*report, error) {

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	colord -addr :7080 -workers 8 -engine sharded
+//	colord -addr :7080 -workers 8 -engine compiled
 //
 // API:
 //
@@ -48,7 +48,7 @@ func run(args []string) error {
 	var (
 		addr    = fs.String("addr", ":7080", "listen address")
 		workers = fs.Int("workers", 0, "concurrent algorithm executions (0 = GOMAXPROCS)")
-		engine  = fs.String("engine", "sharded", "default dist scheduler: goroutines|lockstep|sharded (requests may override)")
+		engine  = fs.String("engine", "compiled", "default dist scheduler: goroutines|lockstep|sharded|compiled (requests may override)")
 		cache   = fs.Int("cache", 4096, "result cache capacity (entries)")
 		graphs  = fs.Int("graphs", 64, "built-graph cache capacity (entries)")
 		window  = fs.Duration("batch-window", 200*time.Microsecond, "micro-batch collection window")

@@ -40,7 +40,7 @@ func run(args []string) error {
 		bFlag  = fs.Int("b", 2, "Algorithm 1 parameter b")
 		pFlag  = fs.Int("p", 6, "Algorithm 1 parameter p")
 		mode   = fs.String("mode", "wide", "message mode: wide|short")
-		engine = fs.String("engine", "goroutines", "dist scheduler: goroutines|lockstep|sharded")
+		engine = fs.String("engine", "goroutines", "dist scheduler: goroutines|lockstep|sharded|compiled")
 		quiet  = fs.Bool("q", false, "suppress the per-edge coloring dump")
 		dot    = fs.String("dot", "", "write the colored graph in Graphviz DOT format to this file")
 	)

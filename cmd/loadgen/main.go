@@ -107,7 +107,9 @@ func startServer(addr string, workers, sessions int) (string, func(), error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	svc := service.New(service.Config{Workers: workers, Engine: dist.Sharded, Sessions: sessions})
+	// Match cmd/colord's default engine so in-process measurements track the
+	// daemon's production configuration.
+	svc := service.New(service.Config{Workers: workers, Engine: dist.Compiled, Sessions: sessions})
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		svc.Close()

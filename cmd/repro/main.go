@@ -40,7 +40,7 @@ func run(args []string) error {
 		name    = fs.String("exp", "all", "experiment name or 'all'")
 		list    = fs.Bool("list", false, "list experiments and exit")
 		outDir  = fs.String("out", "", "also write each experiment's tables to <out>/<name>.txt")
-		engine  = fs.String("engine", "goroutines", "dist scheduler: goroutines|lockstep|sharded")
+		engine  = fs.String("engine", "goroutines", "dist scheduler: goroutines|lockstep|sharded|compiled")
 		workers = fs.Int("workers", 0, "worker pool for experiment grids (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {

@@ -39,7 +39,7 @@ func run(args []string) error {
 		alg    = fs.String("alg", "legal", "algorithm: legal|legalaux|defective|tradeoff|randomized|greedy")
 		bFlag  = fs.Int("b", 2, "Algorithm 1 parameter b")
 		pFlag  = fs.Int("p", 0, "Algorithm 1 parameter p (0 = auto: 4c+1)")
-		engine = fs.String("engine", "goroutines", "dist scheduler: goroutines|lockstep|sharded")
+		engine = fs.String("engine", "goroutines", "dist scheduler: goroutines|lockstep|sharded|compiled")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err

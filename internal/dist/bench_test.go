@@ -1,12 +1,20 @@
-package dist
+// Benchmarks live in dist_test so they can drive the runtime through real
+// workloads from internal/baseline (the service hot paths) without an import
+// cycle.
+package dist_test
 
 import (
 	"fmt"
 	"testing"
 
+	"repro/internal/baseline"
+	"repro/internal/dist"
 	"repro/internal/graph"
 	"repro/internal/wire"
 )
+
+// benchEngines is every scheduler, in the order BENCH_runtime.json reports.
+var benchEngines = []dist.Engine{dist.Goroutines, dist.Lockstep, dist.Sharded, dist.Compiled}
 
 // denseBenchGraph is the dense 2000-vertex workload the engine comparison is
 // stated on: a random graph with 40000 edges (average degree 40).
@@ -19,7 +27,7 @@ func denseBenchGraph() *graph.Graph {
 // per-vertex work allocation-free makes the benchmark measure the runtime —
 // scheduling, delivery, accounting — rather than the algorithm's own
 // garbage.
-func commAlgo(v Process) int {
+func commAlgo(v dist.Process) int {
 	msg := []byte{byte(v.ID()), byte(v.ID() >> 8), 7, 9}
 	acc := 0
 	for r := 0; r < 8; r++ {
@@ -33,26 +41,35 @@ func commAlgo(v Process) int {
 	return acc
 }
 
-// BenchmarkEngines compares the three schedulers on the dense workload.
-// "fresh" sub-benchmarks rebuild the runtime through dist.Run every
+// commBundle runs commAlgo on every engine: scheduled on the three scheduler
+// engines, through the flat-array interpreter under Compiled.
+func commBundle() dist.Algo[int] {
+	return dist.Algo[int]{Vertex: commAlgo, Compiled: dist.CompileProcess(commAlgo)}
+}
+
+// BenchmarkEngines compares the four engines on the dense workload.
+// "fresh" sub-benchmarks rebuild the runtime through dist.RunAlgo every
 // iteration; "steady" sub-benchmarks measure the production configuration —
 // repeated runs on one Runner — where per-run bookkeeping is amortized away
-// and only scheduling, delivery, and the algorithm itself remain. Custom
-// metrics report the LOCAL-model cost so BENCH_runtime.json tracks rounds
-// and message volume alongside wall-clock.
+// and only scheduling, delivery, and the algorithm itself remain. The
+// "hotpath" group is the service hot path (greedy edge coloring), where the
+// Compiled engine executes the hand-written CSR pass instead of scheduling
+// vertices; this is the workload the ≥10× single-core target is stated on.
+// Custom metrics report the LOCAL-model cost so BENCH_runtime.json tracks
+// rounds and message volume alongside wall-clock.
 //
-// Scheduling is the only engine-dependent cost, so the Sharded advantage
-// scales with how much the host parallelizes the shard chains and the
-// destination-sharded delivery: on a single-CPU host it is the ~20-30%
-// saved by token-chain handoffs alone, on multi-core hosts the release and
-// delivery phases additionally spread across GOMAXPROCS shards.
+// Scheduling is the only engine-dependent cost of the comm workloads, so the
+// Sharded advantage scales with how much the host parallelizes the shard
+// chains, while Compiled replaces scheduling wholesale: under the interpreter
+// it saves goroutine handoffs, and under a hand-written pass it saves the
+// per-vertex control flow entirely.
 func BenchmarkEngines(b *testing.B) {
 	g := denseBenchGraph()
-	for _, e := range []Engine{Goroutines, Lockstep, Sharded} {
+	for _, e := range benchEngines {
 		b.Run(fmt.Sprintf("fresh/%v", e), func(b *testing.B) {
-			var stats Stats
+			var stats dist.Stats
 			for i := 0; i < b.N; i++ {
-				res, err := Run(g, commAlgo, WithEngine(e))
+				res, err := dist.RunAlgo(g, commBundle(), dist.WithEngine(e))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -62,17 +79,37 @@ func BenchmarkEngines(b *testing.B) {
 			b.ReportMetric(float64(stats.Bytes), "msgBytes")
 		})
 	}
-	for _, e := range []Engine{Goroutines, Lockstep, Sharded} {
+	for _, e := range benchEngines {
 		b.Run(fmt.Sprintf("steady/%v", e), func(b *testing.B) {
-			r := NewRunner[int](g)
+			r := dist.NewRunner[int](g)
 			defer r.Close()
-			var stats Stats
-			if _, err := r.Run(commAlgo, WithEngine(e)); err != nil {
+			var stats dist.Stats
+			if _, err := r.RunAlgo(commBundle(), dist.WithEngine(e)); err != nil {
 				b.Fatal(err) // warm the pools before measuring steady state
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				res, err := r.Run(commAlgo, WithEngine(e))
+				res, err := r.RunAlgo(commBundle(), dist.WithEngine(e))
+				if err != nil {
+					b.Fatal(err)
+				}
+				stats = res.Stats
+			}
+			b.ReportMetric(float64(stats.Rounds), "rounds")
+			b.ReportMetric(float64(stats.Bytes), "msgBytes")
+		})
+	}
+	for _, e := range benchEngines {
+		b.Run(fmt.Sprintf("hotpath/%v", e), func(b *testing.B) {
+			r := dist.NewRunner[[]int](g)
+			defer r.Close()
+			var stats dist.Stats
+			if _, err := r.RunAlgo(baseline.GreedyEdgeAlgo(), dist.WithEngine(e)); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := r.RunAlgo(baseline.GreedyEdgeAlgo(), dist.WithEngine(e))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -86,11 +123,12 @@ func BenchmarkEngines(b *testing.B) {
 
 // BenchmarkEnginesChatty is the same comparison on the original irregular
 // workload (per-vertex PRNG budgets, varint encode/decode): here the
-// algorithm's own allocations dominate, bounding how much any scheduler can
-// matter — the realistic regime for the repository's coloring algorithms.
+// algorithm's own allocations dominate, bounding how much any scheduler (or
+// the interpreter) can matter — the realistic regime for algorithms without a
+// hand-written compiled form.
 func BenchmarkEnginesChatty(b *testing.B) {
 	g := denseBenchGraph()
-	algo := func(v Process) int {
+	algo := func(v dist.Process) int {
 		acc := 0
 		for r := 0; r < 8; r++ {
 			in := v.Broadcast(wire.EncodeInts(v.ID() ^ r))
@@ -104,10 +142,11 @@ func BenchmarkEnginesChatty(b *testing.B) {
 		}
 		return acc
 	}
-	for _, e := range []Engine{Goroutines, Lockstep, Sharded} {
+	bundle := dist.Algo[int]{Vertex: algo, Compiled: dist.CompileProcess(algo)}
+	for _, e := range benchEngines {
 		b.Run(fmt.Sprintf("%v", e), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := Run(g, algo, WithEngine(e)); err != nil {
+				if _, err := dist.RunAlgo(g, bundle, dist.WithEngine(e)); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -123,7 +162,7 @@ func BenchmarkEnginesChatty(b *testing.B) {
 func BenchmarkRunnerReuse(b *testing.B) {
 	g := denseBenchGraph()
 	msg := []byte{1, 2, 3, 4} // shared: the algorithm itself allocates nothing
-	algo := func(v Process) int {
+	algo := func(v dist.Process) int {
 		acc := 0
 		for r := 0; r < 2; r++ {
 			in := v.Broadcast(msg)
@@ -137,19 +176,19 @@ func BenchmarkRunnerReuse(b *testing.B) {
 	}
 	b.Run("fresh", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := Run(g, algo, WithEngine(Sharded)); err != nil {
+			if _, err := dist.Run(g, algo, dist.WithEngine(dist.Sharded)); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("reused", func(b *testing.B) {
-		r := NewRunner[int](g)
-		if _, err := r.Run(algo, WithEngine(Sharded)); err != nil {
+		r := dist.NewRunner[int](g)
+		if _, err := r.Run(algo, dist.WithEngine(dist.Sharded)); err != nil {
 			b.Fatal(err) // warm the pools before measuring steady state
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := r.Run(algo, WithEngine(Sharded)); err != nil {
+			if _, err := r.Run(algo, dist.WithEngine(dist.Sharded)); err != nil {
 				b.Fatal(err)
 			}
 		}

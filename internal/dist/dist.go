@@ -174,6 +174,12 @@ const (
 	// accounting merged in index order, and destination-sharded parallel
 	// gather delivery. The fastest engine for large or repeated runs.
 	Sharded
+	// Compiled executes algorithms that carry a CompiledAlgo form (see Algo
+	// and RunAlgo) as tight whole-graph passes over the flat CSR arrays — no
+	// goroutines, no channels — and degrades to Lockstep for plain per-vertex
+	// functions. Outputs and Stats are byte-identical to the other engines;
+	// only wall-clock changes.
+	Compiled
 )
 
 // String implements fmt.Stringer for diagnostics.
@@ -185,6 +191,8 @@ func (e Engine) String() string {
 		return "lockstep"
 	case Sharded:
 		return "sharded"
+	case Compiled:
+		return "compiled"
 	default:
 		return fmt.Sprintf("engine(%d)", int(e))
 	}
@@ -200,8 +208,10 @@ func ParseEngine(s string) (Engine, error) {
 		return Lockstep, nil
 	case "sharded":
 		return Sharded, nil
+	case "compiled":
+		return Compiled, nil
 	default:
-		return 0, fmt.Errorf("dist: unknown engine %q (want goroutines, lockstep, or sharded)", s)
+		return 0, fmt.Errorf("dist: unknown engine %q (want goroutines, lockstep, sharded, or compiled)", s)
 	}
 }
 

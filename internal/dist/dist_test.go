@@ -42,9 +42,16 @@ func chatty(v Process) []int {
 	return history
 }
 
+// chattyAlgo bundles chatty with an interpreter-compiled form, so the
+// Compiled engine runs it as a flat pass while the other engines schedule
+// the plain function — the four-engine agreement tests all route through it.
+func chattyAlgo() Algo[[]int] {
+	return Algo[[]int]{Vertex: chatty, Compiled: CompileProcess(chatty)}
+}
+
 func runChatty(t *testing.T, g *graph.Graph, opts ...Option) *Result[[]int] {
 	t.Helper()
-	res, err := Run(g, chatty, opts...)
+	res, err := RunAlgo(g, chattyAlgo(), opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -71,6 +78,7 @@ func TestEnginesAgree(t *testing.T) {
 				"sharded":   runChatty(t, g, WithSeed(seed), WithEngine(Sharded)),
 				"sharded-1": runChatty(t, g, WithSeed(seed), WithEngine(Sharded), WithShards(1)),
 				"sharded-5": runChatty(t, g, WithSeed(seed), WithEngine(Sharded), WithShards(5)),
+				"compiled":  runChatty(t, g, WithSeed(seed), WithEngine(Compiled)),
 				"again":     runChatty(t, g, WithSeed(seed), WithEngine(Goroutines)),
 			}
 			for vname, res := range variants {
@@ -93,9 +101,9 @@ func TestRunnerReuseAgrees(t *testing.T) {
 	g := graph.GNM(120, 500, 9)
 	r := NewRunner[[]int](g)
 	for i := 0; i < 3; i++ {
-		for _, e := range []Engine{Goroutines, Lockstep, Sharded} {
+		for _, e := range []Engine{Goroutines, Lockstep, Sharded, Compiled} {
 			for seed := int64(0); seed < 2; seed++ {
-				got, err := r.Run(chatty, WithSeed(seed), WithEngine(e), WithShards(3))
+				got, err := r.RunAlgo(chattyAlgo(), WithSeed(seed), WithEngine(e), WithShards(3))
 				if err != nil {
 					t.Fatal(err)
 				}

@@ -54,6 +54,7 @@ func TestEngineFamilyProperty(t *testing.T) {
 				"lockstep":  runChatty(t, g, WithSeed(seed), WithEngine(Lockstep)),
 				"sharded":   runChatty(t, g, WithSeed(seed), WithEngine(Sharded)),
 				"sharded-4": runChatty(t, g, WithSeed(seed), WithEngine(Sharded), WithShards(4)),
+				"compiled":  runChatty(t, g, WithSeed(seed), WithEngine(Compiled)),
 			}
 			for vname, res := range variants {
 				if !reflect.DeepEqual(ref.Outputs, res.Outputs) {

@@ -147,6 +147,12 @@ func (r *Runner[T]) Run(algo func(Process) T, opts ...Option) (*Result[T], error
 	for _, o := range opts {
 		o(&cfg)
 	}
+	if cfg.engine == Compiled {
+		// A plain per-vertex function carries no compiled form; the Compiled
+		// engine degrades to Lockstep (RunAlgo dispatches opted-in algorithms
+		// before reaching here).
+		cfg.engine = Lockstep
+	}
 	if cfg.engine != Goroutines && cfg.engine != Lockstep && cfg.engine != Sharded {
 		return nil, fmt.Errorf("dist: unknown engine %v", cfg.engine)
 	}
@@ -512,7 +518,7 @@ func (s *sched[T]) run() (err error) {
 		s.res.Stats.Rounds++
 		s.res.Stats.Activations += len(arrived)
 		if s.cfg.maxRounds > 0 && s.res.Stats.Rounds > s.cfg.maxRounds {
-			return fmt.Errorf("dist: round cap %d exceeded after %v; raise it with WithMaxRounds", s.cfg.maxRounds, s.res.Stats)
+			return roundCapErr(s.cfg.maxRounds, s.res.Stats)
 		}
 		if sharded && s.queues != nil {
 			s.deliverSharded()

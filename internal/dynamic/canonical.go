@@ -87,11 +87,11 @@ func mex(used map[int]bool) int {
 // it as run; a nil run falls back to dist.Run.
 func CanonicalRun(g *graph.Graph, run RunFunc, opts ...dist.Option) ([]int, dist.Stats, error) {
 	if run == nil {
-		run = func(algo func(dist.Process) []int, opts ...dist.Option) (*dist.Result[[]int], error) {
-			return dist.Run(g, algo, opts...)
+		run = func(a dist.Algo[[]int], opts ...dist.Option) (*dist.Result[[]int], error) {
+			return dist.RunAlgo(g, a, opts...)
 		}
 	}
-	res, err := run(repairAlgo(g, make([][]int, g.M())), opts...)
+	res, err := run(repairBundle(g, make([][]int, g.M())), opts...)
 	if err != nil {
 		return nil, dist.Stats{}, err
 	}
@@ -105,6 +105,8 @@ func CanonicalRun(g *graph.Graph, run RunFunc, opts ...dist.Option) ([]int, dist
 	return colors, res.Stats, nil
 }
 
-// RunFunc executes one distributed run of an edge algorithm; it is the shape
-// shared by dist.Run, Runner.Run, and Pool.Run bound to a graph.
-type RunFunc func(algo func(dist.Process) []int, opts ...dist.Option) (*dist.Result[[]int], error)
+// RunFunc executes one distributed run of a bundled edge algorithm; it is
+// the shape shared by dist.RunAlgo, Runner.RunAlgo, and Pool.RunAlgo bound
+// to a graph. Passing the bundle (rather than a bare per-vertex function)
+// lets pooled runs execute the compiled form under dist.Compiled.
+type RunFunc func(a dist.Algo[[]int], opts ...dist.Option) (*dist.Result[[]int], error)

@@ -51,7 +51,7 @@ func TestCanonicalColorsLegal(t *testing.T) {
 // TestCanonicalRunMatches: the distributed canonical run equals the
 // sequential recompute byte-for-byte, on every engine.
 func TestCanonicalRunMatches(t *testing.T) {
-	engines := []dist.Engine{dist.Goroutines, dist.Lockstep, dist.Sharded}
+	engines := []dist.Engine{dist.Goroutines, dist.Lockstep, dist.Sharded, dist.Compiled}
 	for _, f := range canonicalFamilies {
 		g := f.g()
 		want := CanonicalColors(g)

@@ -1,0 +1,90 @@
+package dynamic
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/exp"
+	"repro/internal/graph"
+)
+
+// TestRepairCompiledByteEquality: the compiled repair form produces the same
+// Outputs AND Stats as the scheduled form — the full dist byte-equality
+// contract, not just matching colors — on every canonical family.
+func TestRepairCompiledByteEquality(t *testing.T) {
+	for _, f := range canonicalFamilies {
+		g := f.g()
+		bundle := repairBundle(g, make([][]int, g.M()))
+		want, err := dist.Run(g, bundle.Vertex, dist.WithEngine(dist.Lockstep))
+		if err != nil {
+			t.Fatalf("%s: %v", f.name, err)
+		}
+		got, err := dist.RunAlgo(g, bundle, dist.WithEngine(dist.Compiled))
+		if err != nil {
+			t.Fatalf("%s: %v", f.name, err)
+		}
+		if !reflect.DeepEqual(got.Outputs, want.Outputs) {
+			t.Fatalf("%s: compiled repair outputs diverge", f.name)
+		}
+		if got.Stats != want.Stats {
+			t.Fatalf("%s: compiled repair stats diverge: %v vs %v", f.name, got.Stats, want.Stats)
+		}
+	}
+}
+
+// TestRepairCompiledWithForbidden: boundary constraints (the forbidden sets
+// a real repair carries) flow through the compiled form identically.
+func TestRepairCompiledWithForbidden(t *testing.T) {
+	g := graph.GNM(30, 80, 5)
+	forbidden := make([][]int, g.M())
+	for id := range forbidden {
+		switch id % 3 {
+		case 0:
+			forbidden[id] = []int{1, 2}
+		case 1:
+			forbidden[id] = []int{2, 4, 5}
+		}
+	}
+	bundle := repairBundle(g, forbidden)
+	want, err := dist.Run(g, bundle.Vertex, dist.WithEngine(dist.Goroutines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dist.RunAlgo(g, bundle, dist.WithEngine(dist.Compiled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Outputs, want.Outputs) || got.Stats != want.Stats {
+		t.Fatalf("forbidden-constrained repair diverged: %v vs %v", got.Stats, want.Stats)
+	}
+}
+
+// TestMaintainerStatsEngineIndependent: a full churn stream accumulates
+// identical Maintainer stats (repair rounds, bytes, activations) under the
+// Compiled and Lockstep engines — the speedup is wall-clock only.
+func TestMaintainerStatsEngineIndependent(t *testing.T) {
+	s := exp.MutationStream{Kind: "mix", Base: exp.GraphSpec{Family: "gnm", N: 40, M: 110, Seed: 2}, Ops: 80, Seed: 7}
+	base, muts, err := s.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := make([]Stats, 0, 2)
+	for _, e := range []dist.Engine{dist.Lockstep, dist.Compiled} {
+		m, err := New(base, Config{Engine: e})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Engine() != e {
+			t.Fatalf("Engine() = %v, want %v", m.Engine(), e)
+		}
+		if _, _, err := m.Apply(muts); err != nil {
+			t.Fatal(err)
+		}
+		stats = append(stats, m.Stats())
+		m.Close()
+	}
+	if stats[0] != stats[1] {
+		t.Fatalf("maintainer stats depend on engine:\nlockstep: %+v\ncompiled: %+v", stats[0], stats[1])
+	}
+}

@@ -137,7 +137,7 @@ func New(base *graph.Graph, cfg Config) (*Maintainer, error) {
 // computed distributedly on g's pooled runners. Caller holds mu (or is New).
 func (m *Maintainer) recolorAll(g *graph.Graph) error {
 	pool := m.pools.get(g)
-	colors, stats, err := CanonicalRun(g, pool.Run, m.opts()...)
+	colors, stats, err := CanonicalRun(g, pool.RunAlgo, m.opts()...)
 	if err != nil {
 		return err
 	}
@@ -253,7 +253,7 @@ func (m *Maintainer) repair(seeds []graph.Edge) (Report, error) {
 	}
 	sub, origVerts, forbidden, boundary := m.repairSubgraph(dirty)
 	pool := m.pools.get(sub)
-	res, err := pool.Run(repairAlgo(sub, forbidden), m.opts()...)
+	res, err := pool.RunAlgo(repairBundle(sub, forbidden), m.opts()...)
 	if err != nil {
 		return Report{}, err
 	}
@@ -528,6 +528,12 @@ func (m *Maintainer) Apply(muts []exp.Mutation) (total Report, applied int, err 
 		total.add(rep)
 	}
 	return total, applied, nil
+}
+
+// Engine reports the dist scheduler this maintainer's repair runs execute
+// on; monitoring endpoints (/statz) use it to attribute repair cost.
+func (m *Maintainer) Engine() dist.Engine {
+	return m.cfg.Engine
 }
 
 // Poisoned reports whether a failed repair has permanently disabled the

@@ -60,7 +60,7 @@ func TestChurnStepwise(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, e := range []dist.Engine{dist.Goroutines, dist.Lockstep, dist.Sharded} {
+	for _, e := range []dist.Engine{dist.Goroutines, dist.Lockstep, dist.Sharded, dist.Compiled} {
 		m, err := New(base, Config{Engine: e})
 		if err != nil {
 			t.Fatal(err)

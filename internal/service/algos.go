@@ -85,23 +85,23 @@ func (s *Service) resolve(req Request) (*canonReq, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.runner = edgeRunner(algo, pl.TotalPalette())
+		c.runner = edgeRunner(interpreted(algo), pl.TotalPalette())
 	case req.Kind == "edge" && req.Alg == "pr":
 		req.Mode, req.P, req.B = "", 0, 0 // unused: keep the key canonical
 		if g.M() == 0 {
 			c.runner = emptyEdges
 			break
 		}
-		c.runner = edgeRunner(func(v dist.Process) []int {
+		c.runner = edgeRunner(interpreted(func(v dist.Process) []int {
 			return panconesi.EdgeColorStep(v, nil, delta)
-		}, 2*delta-1)
+		}), 2*delta-1)
 	case req.Kind == "edge" && req.Alg == "greedy":
 		req.Mode, req.P, req.B = "", 0, 0
 		if g.M() == 0 {
 			c.runner = emptyEdges
 			break
 		}
-		c.runner = edgeRunner(baseline.GreedyEdgeProcess, 2*delta-1)
+		c.runner = edgeRunner(baseline.GreedyEdgeAlgo(), 2*delta-1)
 	case req.Kind == "vertex" && req.Alg == "be":
 		if req.P == 0 {
 			req.P = 4*req.C + 1
@@ -119,10 +119,10 @@ func (s *Service) resolve(req Request) (*canonReq, error) {
 		if err != nil {
 			return nil, err
 		}
-		c.runner = vertexRunner(algo, pl.TotalPalette())
+		c.runner = vertexRunner(interpreted(algo), pl.TotalPalette())
 	case req.Kind == "vertex" && req.Alg == "greedy":
 		req.Mode, req.P, req.B, req.C = "", 0, 0, 0
-		c.runner = vertexRunner(baseline.GreedyVertexProcess, delta+1)
+		c.runner = vertexRunner(baseline.GreedyVertexAlgo(), delta+1)
 	default:
 		return nil, fmt.Errorf("service: unknown algorithm %q for kind %q", req.Alg, req.Kind)
 	}
@@ -145,12 +145,19 @@ func (c *canonReq) baseRecord(palette int) *record {
 	}
 }
 
+// interpreted bundles a vertex function with its CompileProcess form, so the
+// algorithm runs under every engine — including Compiled, where the generic
+// flat-array interpreter executes it without per-vertex goroutines.
+func interpreted[T any](vertex func(dist.Process) T) dist.Algo[T] {
+	return dist.Algo[T]{Vertex: vertex, Compiled: dist.CompileProcess(vertex)}
+}
+
 // edgeRunner executes an edge algorithm (per-vertex port colorings) on the
 // entry's []int pool, merges the two endpoint views, and legality-checks the
 // result before it can reach the cache.
-func edgeRunner(algo func(dist.Process) []int, palette int) func(*canonReq) (*record, error) {
+func edgeRunner(algo dist.Algo[[]int], palette int) func(*canonReq) (*record, error) {
 	return func(c *canonReq) (*record, error) {
-		res, err := c.entry.slices().Run(algo, c.opts...)
+		res, err := c.entry.slices().RunAlgo(algo, c.opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -170,9 +177,9 @@ func edgeRunner(algo func(dist.Process) []int, palette int) func(*canonReq) (*re
 }
 
 // vertexRunner is edgeRunner's vertex-coloring counterpart on the int pool.
-func vertexRunner(algo func(dist.Process) int, palette int) func(*canonReq) (*record, error) {
+func vertexRunner(algo dist.Algo[int], palette int) func(*canonReq) (*record, error) {
 	return func(c *canonReq) (*record, error) {
-		res, err := c.entry.ints().Run(algo, c.opts...)
+		res, err := c.entry.ints().RunAlgo(algo, c.opts...)
 		if err != nil {
 			return nil, err
 		}
@@ -198,7 +205,7 @@ func emptyEdges(c *canonReq) (*record, error) {
 // 1-coloring, still executed as a real (zero-round) run so the accounting
 // pipeline stays uniform.
 func isolatedVertices(c *canonReq) (*record, error) {
-	res, err := c.entry.ints().Run(func(v dist.Process) int { return 1 }, c.opts...)
+	res, err := c.entry.ints().RunAlgo(interpreted(func(v dist.Process) int { return 1 }), c.opts...)
 	if err != nil {
 		return nil, err
 	}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/dist"
 	"repro/internal/dynamic"
 	"repro/internal/exp"
 	"repro/internal/graph"
@@ -189,6 +190,7 @@ func (st *sessionTable) snapshot() []SessionSnapshot {
 			snap.N, snap.M = n, m
 			snap.Fingerprint = fp.String()
 			snap.Totals = mt.Stats()
+			snap.Engine = mt.Engine().String()
 		}
 		out = append(out, snap)
 	}
@@ -211,8 +213,10 @@ func (st *sessionTable) close() {
 
 // SessionSnapshot reports one dynamic session in /statz.
 type SessionSnapshot struct {
-	Session     string        `json:"session"`
-	Base        string        `json:"base"`
+	Session string `json:"session"`
+	Base    string `json:"base"`
+	// Engine is the dist scheduler the session's repairs run on.
+	Engine      string        `json:"engine,omitempty"`
 	N           int           `json:"n"`
 	M           int           `json:"m"`
 	Fingerprint string        `json:"fingerprint"`
@@ -270,14 +274,17 @@ func (s *Service) Mutate(req MutateRequest) (*MutateResponse, Outcome, error) {
 	return resp, Miss, nil
 }
 
-// buildMaintainer creates a session's maintainer from its base spec, using
-// the service's engine.
+// buildMaintainer creates a session's maintainer from its base spec. The
+// repair algorithm has a compiled form, and repairs are byte-identical across
+// engines, so sessions always run on the compiled engine regardless of the
+// service default — the choice is wall-clock only, and /statz records it per
+// session.
 func (s *Service) buildMaintainer(spec exp.GraphSpec) (*dynamic.Maintainer, error) {
 	g, err := spec.Build()
 	if err != nil {
 		return nil, err
 	}
-	return dynamic.New(g, dynamic.Config{Engine: s.cfg.Engine})
+	return dynamic.New(g, dynamic.Config{Engine: dist.Compiled})
 }
 
 // readColors serves a pure coloring read through the result cache. The key

@@ -43,7 +43,8 @@ type Request struct {
 	// "short".
 	Mode string `json:"mode,omitempty"`
 	// Engine optionally overrides the server's scheduler for this run:
-	// "goroutines", "lockstep", or "sharded". Not part of the cache key.
+	// "goroutines", "lockstep", "sharded", or "compiled". Not part of the
+	// cache key — every engine produces byte-identical results.
 	Engine string `json:"engine,omitempty"`
 	// Shards optionally pins the shard count of a sharded run. Not part of
 	// the cache key.

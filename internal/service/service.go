@@ -108,6 +108,9 @@ type flightResult struct {
 
 // ServiceStats is the /statz snapshot.
 type ServiceStats struct {
+	// Engine is the service's default dist scheduler (requests may override
+	// per-call; dynamic sessions always repair on the compiled engine).
+	Engine    string            `json:"engine"`
 	Requests  int64             `json:"requests"`
 	Hits      int64             `json:"hits"`
 	Coalesced int64             `json:"coalesced"`
@@ -339,6 +342,7 @@ func (s *Service) fail(f *flight, err error) {
 // Stats snapshots the service counters, cache, and per-graph runner pools.
 func (s *Service) Stats() ServiceStats {
 	return ServiceStats{
+		Engine:    s.cfg.Engine.String(),
 		Requests:  s.requests.Load(),
 		Hits:      s.hits.Load(),
 		Coalesced: s.coalesced.Load(),

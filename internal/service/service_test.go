@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/dist"
 	"repro/internal/exp"
 	"repro/internal/graph"
 )
@@ -338,5 +339,72 @@ func TestRecordRoundTrip(t *testing.T) {
 	}
 	if _, err := decodeRecord([]byte("garbage")); err == nil {
 		t.Fatal("garbage record must not decode")
+	}
+}
+
+// TestCompiledEngineByteIdentical: a service whose default engine is Compiled
+// serves byte-identical response bodies to one running Lockstep, for every
+// kind/alg pair — fresh runs on both sides (separate services, so the shared
+// cache cannot mask a divergence).
+func TestCompiledEngineByteIdentical(t *testing.T) {
+	cfgC := testConfig()
+	cfgC.Engine = dist.Compiled
+	sc := New(cfgC)
+	defer sc.Close()
+	cfgL := testConfig()
+	cfgL.Engine = dist.Lockstep
+	sl := New(cfgL)
+	defer sl.Close()
+
+	if got := sc.Stats().Engine; got != "compiled" {
+		t.Fatalf("stats engine = %q, want compiled", got)
+	}
+	cases := []Request{
+		gnmReq("edge", "be", 3),
+		gnmReq("edge", "pr", 3),
+		gnmReq("edge", "greedy", 3),
+		gnmReq("vertex", "be", 3),
+		gnmReq("vertex", "greedy", 3),
+		{Kind: "vertex", Alg: "be", Graph: exp.GraphSpec{Family: "path", N: 3}}, // edgeless: isolatedVertices
+	}
+	for _, req := range cases {
+		rc, _, err := sc.Handle(req)
+		if err != nil {
+			t.Fatalf("%s/%s compiled: %v", req.Kind, req.Alg, err)
+		}
+		rl, _, err := sl.Handle(req)
+		if err != nil {
+			t.Fatalf("%s/%s lockstep: %v", req.Kind, req.Alg, err)
+		}
+		a, _ := json.Marshal(rc)
+		b, _ := json.Marshal(rl)
+		if !bytes.Equal(a, b) {
+			t.Fatalf("%s/%s: compiled body differs from lockstep:\n%s\n%s", req.Kind, req.Alg, a, b)
+		}
+	}
+
+	// Per-request override onto the compiled engine parses and runs.
+	req := gnmReq("edge", "greedy", 9)
+	req.Engine = "compiled"
+	if _, outcome, err := sl.Handle(req); err != nil || outcome != Miss {
+		t.Fatalf("compiled override: outcome %q err %v", outcome, err)
+	}
+}
+
+// TestSessionSnapshotRecordsEngine: dynamic sessions repair on the compiled
+// engine and /statz says so.
+func TestSessionSnapshotRecordsEngine(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	base := exp.GraphSpec{Family: "gnm", N: 20, M: 40, Seed: 2}
+	if _, _, err := s.Mutate(MutateRequest{Session: "a", Base: &base}); err != nil {
+		t.Fatal(err)
+	}
+	sessions := s.Stats().Sessions
+	if len(sessions) != 1 {
+		t.Fatalf("got %d sessions, want 1", len(sessions))
+	}
+	if sessions[0].Engine != "compiled" {
+		t.Fatalf("session engine = %q, want compiled", sessions[0].Engine)
 	}
 }

@@ -11,6 +11,7 @@ package wire
 import (
 	"encoding/binary"
 	"errors"
+	"math/bits"
 )
 
 // ErrTruncated is returned when a reader runs past the end of a message.
@@ -154,6 +155,31 @@ func (r *Reader) Err() error { return r.err }
 
 // Remaining returns the number of unread bytes.
 func (r *Reader) Remaining() int { return len(r.buf) - r.off }
+
+// UintLen returns the number of bytes Writer.Uint appends for x, without
+// encoding anything. Compiled algorithm forms (dist.CompiledAlgo) use the
+// *Len functions to account message bytes they never materialize.
+func UintLen(x uint64) int {
+	return (bits.Len64(x|1) + 6) / 7
+}
+
+// IntLen returns the number of bytes Writer.Int appends for x (zigzag).
+func IntLen(x int) int {
+	ux := uint64(int64(x)) << 1
+	if x < 0 {
+		ux = ^ux
+	}
+	return UintLen(ux)
+}
+
+// IntsLen returns the number of bytes Writer.Ints appends for xs.
+func IntsLen(xs []int) int {
+	n := UintLen(uint64(len(xs)))
+	for _, x := range xs {
+		n += IntLen(x)
+	}
+	return n
+}
 
 // EncodeInts is a convenience for single-shot encoding of signed values.
 func EncodeInts(xs ...int) []byte {

@@ -141,3 +141,40 @@ func TestRoundTripString(t *testing.T) {
 		t.Fatal("truncated string must latch an error")
 	}
 }
+
+// TestLenMatchesWriter: the *Len accounting helpers report exactly the bytes
+// the corresponding Writer methods append, across the varint width
+// boundaries, the sign fold, and the empty/long-slice cases.
+func TestLenMatchesWriter(t *testing.T) {
+	uints := []uint64{0, 1, 127, 128, 16383, 16384, 1 << 21, 1<<42 + 5, 1<<63 - 1, 1<<64 - 1}
+	for _, x := range uints {
+		var w Writer
+		w.Uint(x)
+		if got, want := UintLen(x), len(w.Bytes()); got != want {
+			t.Fatalf("UintLen(%d) = %d, Writer.Uint wrote %d", x, got, want)
+		}
+	}
+	ints := []int{0, 1, -1, 63, 64, -64, -65, 8191, -8192, 1 << 30, -(1 << 30), int(1)<<62 - 1, -(int(1) << 62)}
+	for _, x := range ints {
+		var w Writer
+		w.Int(x)
+		if got, want := IntLen(x), len(w.Bytes()); got != want {
+			t.Fatalf("IntLen(%d) = %d, Writer.Int wrote %d", x, got, want)
+		}
+	}
+	slices := [][]int{
+		nil,
+		{},
+		{0},
+		{-1, 1, -128, 128},
+		make([]int, 200), // length prefix crosses the one-byte varint boundary
+		{1 << 40, -(1 << 40), 7, -7, 1<<62 - 1},
+	}
+	for _, xs := range slices {
+		var w Writer
+		w.Ints(xs)
+		if got, want := IntsLen(xs), len(w.Bytes()); got != want {
+			t.Fatalf("IntsLen(%v) = %d, Writer.Ints wrote %d", xs, got, want)
+		}
+	}
+}

@@ -14,17 +14,20 @@
 #   scripts/bench_service.sh                  # full run, writes BENCH_service.json
 #   DURATION=300ms scripts/bench_service.sh   # quick smoke (CI uses this)
 #   OUT=/dev/stdout scripts/bench_service.sh  # print the JSON instead
+#   ENGINE=compiled scripts/bench_service.sh  # pin the coloring requests'
+#                                             # engine (CI smokes compiled)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 DURATION="${DURATION:-5s}"
 CLIENTS="${CLIENTS:-8}"
+ENGINE="${ENGINE:-}"
 OUT="${OUT:-BENCH_service.json}"
 TXT="$(mktemp)"
 trap 'rm -f "$TXT"' EXIT
 
-go run ./cmd/loadgen -bench -duration "$DURATION" -clients "$CLIENTS" -mix small -seeds 8 | tee "$TXT"
-go run ./cmd/loadgen -bench -duration "$DURATION" -clients "$CLIENTS" -mix medium -seeds 32 | tee -a "$TXT"
+go run ./cmd/loadgen -bench -duration "$DURATION" -clients "$CLIENTS" -mix small -seeds 8 ${ENGINE:+-engine "$ENGINE"} | tee "$TXT"
+go run ./cmd/loadgen -bench -duration "$DURATION" -clients "$CLIENTS" -mix medium -seeds 32 ${ENGINE:+-engine "$ENGINE"} | tee -a "$TXT"
 go run ./cmd/loadgen -bench -mode churn -duration "$DURATION" -clients "$CLIENTS" -mix small -batch 16 | tee -a "$TXT"
 go run ./cmd/benchjson < "$TXT" > "$OUT"
 echo "wrote $OUT" >&2
