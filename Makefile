@@ -41,18 +41,22 @@ bench:
 bench-smoke:
 	BENCHTIME=1x OUT=/dev/null scripts/bench.sh
 
-# Service load measurement: drives an in-process colord with cmd/loadgen and
-# refreshes BENCH_service.json (p50/p99 latency, req/s, cache rates).
+# Service load measurement: drives an in-process colord with cmd/loadgen
+# (raw persistent-connection driver) and refreshes BENCH_service.json
+# (p50/p99 latency, req/s, B/op, allocs/op, cache rates, plus the
+# BenchmarkHitPath serving-fast-path microbenchmark).
 bench-service:
 	scripts/bench_service.sh
 
 # Tiny-duration loadgen pass against a throwaway output: proves colord,
-# loadgen, and the JSON pipeline stay runnable. CI runs this.
+# loadgen, the hit-path microbenchmark (-benchmem), and the JSON pipeline
+# stay runnable. CI runs this.
 bench-service-smoke:
-	DURATION=300ms OUT=/dev/null scripts/bench_service.sh
+	DURATION=300ms BENCHTIME=1x OUT=/dev/null scripts/bench_service.sh
 
-# Rerun the service bench and fail if p50 or req/s regress more than 3x
-# against the committed BENCH_service.json (BENCH_WARN_ONLY=1 in CI).
+# Rerun the service bench and fail if p50, req/s, B/op, or allocs/op regress
+# more than 3x against the committed BENCH_service.json (BENCH_WARN_ONLY=1
+# in CI).
 bench-check:
 	scripts/bench_check.sh
 

@@ -5,18 +5,22 @@
 // Two baseline kinds are understood, selected by -kind:
 //
 //   - service (default, baseline BENCH_service.json): gates p50-ns (median
-//     latency, regressed when current > factor × baseline) and req/s
-//     (throughput, regressed when current < baseline / factor);
+//     latency, regressed when current > factor × baseline), req/s
+//     (throughput, regressed when current < baseline / factor), and the
+//     allocation metrics B/op and allocs/op (regressed when current >
+//     factor × baseline). Allocation gates use a floor — the baseline is
+//     clamped up to a few allocations before the ratio is taken — so a
+//     zero- or near-zero-allocation baseline doesn't turn one stray
+//     allocation into an infinite ratio;
 //   - runtime (baseline BENCH_runtime.json): gates ns/op the same way p50-ns
 //     gates latency. The deterministic LOCAL-model metrics (rounds, msgBytes,
 //     colors, ...) must match exactly — a changed round count is a semantics
 //     change, not noise, so it regresses at any -factor.
 //
 // Other shared metrics are printed for context but do not gate — tail
-// latency, cache rates, and allocation counts are too noisy on shared CI
-// runners to block on. A benchmark present in the baseline but missing from
-// the current run is a regression (the workload silently stopped being
-// measured).
+// latency and cache rates are too noisy on shared CI runners to block on. A
+// benchmark present in the baseline but missing from the current run is a
+// regression (the workload silently stopped being measured).
 //
 // Usage:
 //
@@ -71,7 +75,12 @@ func run(args []string) error {
 	var gates []gate
 	switch *kind {
 	case "service":
-		gates = []gate{{metric: "p50-ns", upIsBad: true}, {metric: "req/s"}}
+		gates = []gate{
+			{metric: "p50-ns", upIsBad: true},
+			{metric: "req/s"},
+			{metric: "B/op", upIsBad: true, floor: 512},
+			{metric: "allocs/op", upIsBad: true, floor: 4},
+		}
 	case "runtime":
 		gates = []gate{{metric: "ns/op", upIsBad: true}}
 		for _, m := range exactRuntimeMetrics {
@@ -124,10 +133,14 @@ func run(args []string) error {
 				}
 				continue
 			}
-			if was == 0 {
+			ref := was
+			if gate.upIsBad && ref < gate.floor {
+				ref = gate.floor // don't turn a near-zero baseline into an infinite ratio
+			}
+			if ref == 0 {
 				continue
 			}
-			ratio := now / was
+			ratio := now / ref
 			bad := (gate.upIsBad && ratio > *factor) || (!gate.upIsBad && ratio < 1 / *factor)
 			tag := "ok        "
 			if bad {
@@ -157,6 +170,9 @@ type gate struct {
 	upIsBad bool
 	// exact: the metric is deterministic; any drift regresses.
 	exact bool
+	// floor clamps the baseline up before the ratio (upIsBad gates only):
+	// a zero-allocation baseline tolerates up to factor × floor absolute.
+	floor float64
 }
 
 func loadReport(path string) (*report, error) {

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
 	"runtime"
@@ -53,6 +54,7 @@ func run(args []string) error {
 		graphs  = fs.Int("graphs", 64, "built-graph cache capacity (entries)")
 		window  = fs.Duration("batch-window", 200*time.Microsecond, "micro-batch collection window")
 		maxB    = fs.Int("batch-max", 64, "dispatch a batch early at this many distinct jobs")
+		pprofA  = fs.String("pprof", "", "serve net/http/pprof on this side address (empty = off), e.g. localhost:6060")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,6 +76,18 @@ func run(args []string) error {
 		MaxBatch:     *maxB,
 	})
 	defer s.Close()
+
+	if *pprofA != "" {
+		// The profiling endpoints live on their own listener, never on the
+		// serving address: /debug/pprof stays unreachable from service
+		// traffic and can bind a loopback-only port.
+		go func() {
+			log.Printf("colord: pprof on http://%s/debug/pprof/", *pprofA)
+			if err := http.ListenAndServe(*pprofA, nil); err != nil {
+				log.Printf("colord: pprof server: %v", err)
+			}
+		}()
+	}
 
 	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
 	errCh := make(chan error, 1)

@@ -12,17 +12,25 @@
 //     measuring mutation throughput and repair latency.
 //
 // With no -addr it starts an in-process colord on a loopback port, so one
-// command measures the full HTTP round trip:
+// command measures the full HTTP round trip (-duration and -d are the same
+// flag; use either spelling):
 //
 //	loadgen -duration 5s -clients 8 -mix small
-//	loadgen -mode churn -duration 5s -clients 8 -mix small -batch 16
+//	loadgen -d 5s -mode churn -clients 8 -mix small -batch 16
 //	loadgen -addr http://localhost:7080 -mix medium -seeds 32
 //
-// With -bench the report is emitted in `go test -bench` format, so
-// scripts/bench_service.sh can pipe it through cmd/benchjson into the
-// committed BENCH_service.json:
+// Color mode drives the server through a raw persistent-connection HTTP/1.1
+// client by default (-driver raw): net/http's per-request overhead costs
+// more than colord's entire hit path, so the standard client (-driver std)
+// measures itself, not the server. -cpuprofile captures a client+server
+// profile of the measurement window when the server runs in-process.
 //
-//	BenchmarkColord/mix=small/clients=8  <reqs>  <avg> ns/op  <p50> p50-ns ...
+// With -bench the report is emitted in `go test -bench` format — including
+// process-wide B/op and allocs/op from runtime.MemStats deltas (client and
+// server combined when in-process) — so scripts/bench_service.sh can pipe it
+// through cmd/benchjson into the committed BENCH_service.json:
+//
+//	BenchmarkColord/mix=small/clients=8  <reqs>  <avg> ns/op  <B> B/op  <allocs> allocs/op  <p50> p50-ns ...
 //	BenchmarkChurn/mix=small/clients=8/batch=16  <reqs>  ... <mut/s> ...
 package main
 
@@ -36,7 +44,9 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -125,11 +135,45 @@ func startServer(addr string, workers, sessions int) (string, func(), error) {
 	}, nil
 }
 
+// memCounters is a snapshot of the process allocation counters; deltas over
+// the measurement window yield B/op and allocs/op. The numbers cover the
+// whole process — clients plus, when the server runs in-process, the entire
+// serving stack, which is the figure a zero-allocation serving path is
+// accountable to.
+type memCounters struct{ mallocs, bytes uint64 }
+
+func readMem() memCounters {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return memCounters{mallocs: ms.Mallocs, bytes: ms.TotalAlloc}
+}
+
+// startCPUProfile begins a CPU profile to path ("" = no-op) and returns the
+// stop function.
+func startCPUProfile(path string) (func(), error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
 func run(args []string) error {
 	fs := flag.NewFlagSet("loadgen", flag.ContinueOnError)
 	var (
 		addr     = fs.String("addr", "", "colord base URL (empty = start an in-process colord)")
 		duration = fs.Duration("duration", 5*time.Second, "how long to drive load")
+		dAlias   = fs.Duration("d", 5*time.Second, "alias for -duration")
 		clients  = fs.Int("clients", 8, "concurrent closed-loop clients")
 		mode     = fs.String("mode", "color", "workload mode: color|churn")
 		mixName  = fs.String("mix", "small", "workload mix: small|medium")
@@ -137,16 +181,31 @@ func run(args []string) error {
 		batch    = fs.Int("batch", 16, "mutations per request (churn mode)")
 		engine   = fs.String("engine", "", "request-level engine override (empty = server default; color mode)")
 		workers  = fs.Int("workers", 0, "in-process server workers (0 = GOMAXPROCS)")
-		bench    = fs.Bool("bench", false, "emit the report in `go test -bench` format")
+		driver   = fs.String("driver", "raw", "HTTP client driver: raw (persistent-connection wire client) or std (net/http); color mode")
+		profile  = fs.String("cpuprofile", "", "write a CPU profile of the measurement window to this file")
+		bench    = fs.Bool("bench", false, "emit the report in `go test -bench` format (includes B/op and allocs/op)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	// -d and -duration are the same knob with two spellings; setting both to
+	// different values is a contradiction, not a precedence puzzle.
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if set["d"] && set["duration"] && *dAlias != *duration {
+		return fmt.Errorf("-d %v and -duration %v disagree; set one (they are aliases)", *dAlias, *duration)
+	}
+	if set["d"] {
+		*duration = *dAlias
+	}
 	if *clients < 1 || *seeds < 1 || *duration <= 0 || *batch < 1 {
 		return fmt.Errorf("need -clients >= 1, -seeds >= 1, -batch >= 1, -duration > 0 (got %d, %d, %d, %v)", *clients, *seeds, *batch, *duration)
 	}
+	if *driver != "raw" && *driver != "std" {
+		return fmt.Errorf("unknown driver %q (want raw or std)", *driver)
+	}
 	if *mode == "churn" {
-		return runChurn(*addr, *duration, *clients, *mixName, *batch, *workers, *bench)
+		return runChurn(*addr, *duration, *clients, *mixName, *batch, *workers, *profile, *bench)
 	}
 	if *mode != "color" {
 		return fmt.Errorf("unknown mode %q (want color or churn)", *mode)
@@ -183,9 +242,26 @@ func run(args []string) error {
 	}
 	defer cleanup()
 	url := base + "/v1/color"
+	hostPort := strings.TrimPrefix(base, "http://")
 
+	// Raw driver: the full wire form of every request is prebuilt, so the
+	// send path is one Write per request.
+	var wires [][]byte
+	if *driver == "raw" {
+		wires = make([][]byte, len(workload))
+		for i, body := range workload {
+			wires[i] = formatRawRequest(hostPort, "/v1/color", body)
+		}
+	}
 	transport := &http.Transport{MaxIdleConnsPerHost: *clients}
 	client := &http.Client{Transport: transport}
+
+	stopProfile, err := startCPUProfile(*profile)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	mem0 := readMem()
 	deadline := time.Now().Add(*duration)
 	results := make([]result, *clients)
 	var wg sync.WaitGroup
@@ -194,14 +270,42 @@ func run(args []string) error {
 		go func(c int) {
 			defer wg.Done()
 			res := &results[c]
+			var rc *rawClient
+			if *driver == "raw" {
+				rc = newRawClient(hostPort)
+				defer rc.close()
+			}
 			// Stagger starting offsets so clients collide on different
 			// keys early (driving coalescing) and spread later.
 			i := (c * 31) % len(workload)
 			for time.Now().Before(deadline) {
-				body := workload[i%len(workload)]
+				idx := i % len(workload)
 				i++
+				if rc != nil {
+					start := time.Now()
+					r, err := rc.do(wires[idx])
+					if err != nil {
+						res.errors++
+						continue
+					}
+					res.requests++
+					res.latencies = append(res.latencies, time.Since(start))
+					if r.status != http.StatusOK {
+						res.errors++
+						continue
+					}
+					switch r.outcome {
+					case 'h':
+						res.hits++
+					case 'c':
+						res.coalesced++
+					default:
+						res.misses++
+					}
+					continue
+				}
 				start := time.Now()
-				resp, err := client.Post(url, "application/json", bytes.NewReader(body))
+				resp, err := client.Post(url, "application/json", bytes.NewReader(workload[idx]))
 				if err != nil {
 					res.errors++
 					continue
@@ -227,6 +331,8 @@ func run(args []string) error {
 		}(c)
 	}
 	wg.Wait()
+	mem1 := readMem()
+	stopProfile()
 
 	var total result
 	for i := range results {
@@ -255,21 +361,25 @@ func run(args []string) error {
 	avg := sum / time.Duration(len(total.latencies))
 	rps := float64(total.requests) / duration.Seconds()
 	hitRate := float64(total.hits) / float64(total.requests)
+	bytesPerOp := (mem1.bytes - mem0.bytes) / uint64(total.requests)
+	allocsPerOp := (mem1.mallocs - mem0.mallocs) / uint64(total.requests)
 
 	if *bench {
 		// go test -bench format: benchjson turns the (value, unit) pairs
 		// into BENCH_service.json metrics.
 		fmt.Printf("goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
-		fmt.Printf("BenchmarkColord/mix=%s/clients=%d/seeds=%d \t%8d\t%12d ns/op\t%12d p50-ns\t%12d p99-ns\t%12d max-ns\t%10.1f req/s\t%8.4f hit-rate\t%8.4f coalesce-rate\n",
+		fmt.Printf("BenchmarkColord/mix=%s/clients=%d/seeds=%d \t%8d\t%12d ns/op\t%10d B/op\t%8d allocs/op\t%12d p50-ns\t%12d p99-ns\t%12d max-ns\t%10.1f req/s\t%8.4f hit-rate\t%8.4f coalesce-rate\n",
 			*mixName, *clients, *seeds, total.requests, avg.Nanoseconds(),
+			bytesPerOp, allocsPerOp,
 			pct(0.50).Nanoseconds(), pct(0.99).Nanoseconds(),
 			total.latencies[len(total.latencies)-1].Nanoseconds(),
 			rps, hitRate, float64(total.coalesced)/float64(total.requests))
 		return nil
 	}
-	fmt.Printf("mix=%s clients=%d seeds=%d duration=%v\n", *mixName, *clients, *seeds, *duration)
+	fmt.Printf("mix=%s clients=%d seeds=%d duration=%v driver=%s\n", *mixName, *clients, *seeds, *duration, *driver)
 	fmt.Printf("requests: %d (%.1f req/s), errors: %d\n", total.requests, rps, total.errors)
 	fmt.Printf("latency: avg=%v p50=%v p99=%v max=%v\n", avg, pct(0.50), pct(0.99), total.latencies[len(total.latencies)-1])
+	fmt.Printf("alloc: %d B/op, %d allocs/op (process-wide: clients plus the in-process server)\n", bytesPerOp, allocsPerOp)
 	fmt.Printf("cache: %d hits (%.1f%%), %d coalesced, %d misses\n",
 		total.hits, 100*hitRate, total.coalesced, total.misses)
 	return nil
@@ -295,7 +405,7 @@ var churnKinds = []string{"mix", "window", "hotspot"}
 // and streams deterministic mutation batches at it, rolling over to a fresh
 // session when its (long) pre-generated stream runs out. Reported latency is
 // per mutate request (one batch = one repair per op, server-side).
-func runChurn(addr string, duration time.Duration, clients int, mixName string, batch, workers int, bench bool) error {
+func runChurn(addr string, duration time.Duration, clients int, mixName string, batch, workers int, profile string, bench bool) error {
 	base, err := churnBases(mixName)
 	if err != nil {
 		return err
@@ -337,6 +447,12 @@ func runChurn(addr string, duration time.Duration, clients int, mixName string, 
 
 	transport := &http.Transport{MaxIdleConnsPerHost: clients}
 	client := &http.Client{Transport: transport}
+	stopProfile, err := startCPUProfile(profile)
+	if err != nil {
+		return err
+	}
+	runtime.GC()
+	mem0 := readMem()
 	deadline := time.Now().Add(duration)
 	results := make([]result, clients)
 	var wg sync.WaitGroup
@@ -397,6 +513,8 @@ func runChurn(addr string, duration time.Duration, clients int, mixName string, 
 		}(c)
 	}
 	wg.Wait()
+	mem1 := readMem()
+	stopProfile()
 
 	var total result
 	for i := range results {
@@ -422,11 +540,14 @@ func runChurn(addr string, duration time.Duration, clients int, mixName string, 
 	avg := sum / time.Duration(len(total.latencies))
 	rps := float64(total.requests) / duration.Seconds()
 	mps := float64(total.mutations) / duration.Seconds()
+	bytesPerOp := (mem1.bytes - mem0.bytes) / uint64(total.requests)
+	allocsPerOp := (mem1.mallocs - mem0.mallocs) / uint64(total.requests)
 
 	if bench {
 		fmt.Printf("goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
-		fmt.Printf("BenchmarkChurn/mix=%s/clients=%d/batch=%d \t%8d\t%12d ns/op\t%12d p50-ns\t%12d p99-ns\t%12d max-ns\t%10.1f req/s\t%10.1f mut/s\n",
+		fmt.Printf("BenchmarkChurn/mix=%s/clients=%d/batch=%d \t%8d\t%12d ns/op\t%10d B/op\t%8d allocs/op\t%12d p50-ns\t%12d p99-ns\t%12d max-ns\t%10.1f req/s\t%10.1f mut/s\n",
 			mixName, clients, batch, total.requests, avg.Nanoseconds(),
+			bytesPerOp, allocsPerOp,
 			pct(0.50).Nanoseconds(), pct(0.99).Nanoseconds(),
 			total.latencies[len(total.latencies)-1].Nanoseconds(), rps, mps)
 		return nil
@@ -435,5 +556,6 @@ func runChurn(addr string, duration time.Duration, clients int, mixName string, 
 	fmt.Printf("requests: %d (%.1f req/s), mutations: %d (%.1f mut/s), errors: %d\n",
 		total.requests, rps, total.mutations, mps, total.errors)
 	fmt.Printf("latency: avg=%v p50=%v p99=%v max=%v\n", avg, pct(0.50), pct(0.99), total.latencies[len(total.latencies)-1])
+	fmt.Printf("alloc: %d B/op, %d allocs/op (process-wide: clients plus the in-process server)\n", bytesPerOp, allocsPerOp)
 	return nil
 }

@@ -1,0 +1,238 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"time"
+)
+
+// rawClient is a wrk-style HTTP/1.1 driver: one persistent TCP connection,
+// preformatted request bytes, and a minimal response reader. net/http's
+// client machinery (header maps, response structs, goroutine handoff per
+// request) costs more than colord's entire hit path; on a loopback box it
+// caps measured throughput well below what the server sustains. This driver
+// exists so loadgen measures the server, not the client.
+//
+// Deliberately minimal: HTTP/1.1 keep-alive, Content-Length and chunked
+// bodies, and the one response header loadgen reads (X-Colord-Cache). On any
+// connection error the request is retried once on a fresh dial — safe
+// because colord requests are idempotent by construction (deterministic
+// outputs, no request-path side effects beyond cache warming).
+type rawClient struct {
+	addr string // host:port to dial
+	conn net.Conn
+	br   *bufio.Reader
+	buf  []byte // body discard scratch
+}
+
+// rawResponse is the slice of a response loadgen cares about.
+type rawResponse struct {
+	status  int
+	outcome byte // first byte of X-Colord-Cache: 'h'it, 'c'oalesced, 'm'iss, 0 = absent
+}
+
+func newRawClient(addr string) *rawClient {
+	return &rawClient{addr: addr, buf: make([]byte, 16<<10)}
+}
+
+// formatRawRequest renders the full wire form of a POST once, so the send
+// path is a single Write of prebuilt bytes.
+func formatRawRequest(host, path string, body []byte) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "POST %s HTTP/1.1\r\nHost: %s\r\nContent-Type: application/json\r\nContent-Length: %d\r\n\r\n", path, host, len(body))
+	b.Write(body)
+	return b.Bytes()
+}
+
+func (c *rawClient) dial() error {
+	conn, err := net.DialTimeout("tcp", c.addr, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	c.conn = conn
+	if c.br == nil {
+		c.br = bufio.NewReaderSize(conn, 16<<10)
+	} else {
+		c.br.Reset(conn)
+	}
+	return nil
+}
+
+func (c *rawClient) close() {
+	if c.conn != nil {
+		c.conn.Close()
+		c.conn = nil
+	}
+}
+
+// do sends one preformatted request and reads its response. A failure on a
+// reused connection (e.g. the server closed an idle keep-alive) is retried
+// once on a fresh dial.
+func (c *rawClient) do(wire []byte) (rawResponse, error) {
+	fresh := c.conn == nil
+	if fresh {
+		if err := c.dial(); err != nil {
+			return rawResponse{}, err
+		}
+	}
+	r, err := c.try(wire)
+	if err != nil && !fresh {
+		c.close()
+		if err = c.dial(); err != nil {
+			return rawResponse{}, err
+		}
+		r, err = c.try(wire)
+	}
+	if err != nil {
+		c.close()
+	}
+	return r, err
+}
+
+func (c *rawClient) try(wire []byte) (rawResponse, error) {
+	if _, err := c.conn.Write(wire); err != nil {
+		return rawResponse{}, err
+	}
+	return c.readResponse()
+}
+
+// readLine returns the next CRLF-terminated line without its terminator.
+func (c *rawClient) readLine() ([]byte, error) {
+	line, err := c.br.ReadSlice('\n')
+	if err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(line, "\r\n"), nil
+}
+
+func (c *rawClient) readResponse() (rawResponse, error) {
+	line, err := c.readLine()
+	if err != nil {
+		return rawResponse{}, err
+	}
+	if len(line) < 12 || !bytes.HasPrefix(line, []byte("HTTP/1.")) {
+		return rawResponse{}, fmt.Errorf("malformed status line %q", line)
+	}
+	status, err := strconv.Atoi(string(line[9:12]))
+	if err != nil {
+		return rawResponse{}, fmt.Errorf("malformed status line %q", line)
+	}
+	resp := rawResponse{status: status}
+	length, chunked, closeAfter := -1, false, false
+	for {
+		line, err = c.readLine()
+		if err != nil {
+			return rawResponse{}, err
+		}
+		if len(line) == 0 {
+			break
+		}
+		colon := bytes.IndexByte(line, ':')
+		if colon < 0 {
+			continue
+		}
+		name, val := line[:colon], bytes.TrimSpace(line[colon+1:])
+		switch {
+		case asciiEqualFold(name, "content-length"):
+			if length, err = strconv.Atoi(string(val)); err != nil {
+				return rawResponse{}, fmt.Errorf("bad Content-Length %q", val)
+			}
+		case asciiEqualFold(name, "transfer-encoding"):
+			chunked = asciiEqualFold(val, "chunked")
+		case asciiEqualFold(name, "connection"):
+			closeAfter = asciiEqualFold(val, "close")
+		case asciiEqualFold(name, "x-colord-cache"):
+			if len(val) > 0 {
+				resp.outcome = val[0]
+			}
+		}
+	}
+	switch {
+	case chunked:
+		err = c.discardChunked()
+	case length >= 0:
+		err = c.discardN(length)
+	case closeAfter:
+		_, err = io.Copy(io.Discard, c.br) // body runs to EOF
+	default:
+		return rawResponse{}, fmt.Errorf("response with no framing (status %d)", status)
+	}
+	if err != nil {
+		return rawResponse{}, err
+	}
+	if closeAfter {
+		c.close()
+	}
+	return resp, nil
+}
+
+func (c *rawClient) discardN(n int) error {
+	for n > 0 {
+		chunk := n
+		if chunk > len(c.buf) {
+			chunk = len(c.buf)
+		}
+		m, err := io.ReadFull(c.br, c.buf[:chunk])
+		n -= m
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *rawClient) discardChunked() error {
+	for {
+		line, err := c.readLine()
+		if err != nil {
+			return err
+		}
+		if i := bytes.IndexByte(line, ';'); i >= 0 {
+			line = line[:i] // chunk extensions
+		}
+		size, err := strconv.ParseInt(string(bytes.TrimSpace(line)), 16, 64)
+		if err != nil {
+			return fmt.Errorf("bad chunk size %q", line)
+		}
+		if size == 0 {
+			// Trailers until the blank line.
+			for {
+				line, err := c.readLine()
+				if err != nil {
+					return err
+				}
+				if len(line) == 0 {
+					return nil
+				}
+			}
+		}
+		if err := c.discardN(int(size)); err != nil {
+			return err
+		}
+		if _, err := c.readLine(); err != nil { // chunk-terminating CRLF
+			return err
+		}
+	}
+}
+
+// asciiEqualFold reports whether a equals the (lowercase) ASCII string b,
+// ignoring case — enough for HTTP header names and token values.
+func asciiEqualFold[T []byte | string](a T, b string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := 0; i < len(a); i++ {
+		ca := a[i]
+		if 'A' <= ca && ca <= 'Z' {
+			ca += 'a' - 'A'
+		}
+		if ca != b[i] {
+			return false
+		}
+	}
+	return true
+}

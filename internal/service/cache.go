@@ -1,88 +1,101 @@
 package service
 
 import (
-	"container/list"
+	"encoding/json"
 	"sync"
 )
 
-// CacheStats is a point-in-time snapshot of the result cache.
-type CacheStats struct {
-	Hits      int64 `json:"hits"`
-	Misses    int64 `json:"misses"`
-	Evictions int64 `json:"evictions"`
-	Entries   int   `json:"entries"`
-	Bytes     int64 `json:"bytes"`
-}
-
-// resultCache is a bounded LRU map from cache key to wire-encoded response
-// record. Determinism makes it trivially coherent: a key has exactly one
-// possible value, so there are no invalidation or versioning concerns —
-// eviction is purely a capacity matter.
+// resultCache is the bounded, lock-striped LRU from cache key to cacheValue.
+// Determinism makes it trivially coherent: a key has exactly one possible
+// value, so there are no invalidation or versioning concerns — eviction is
+// purely a capacity matter, and concurrent fills of one key converge
+// (first-wins) on a single shared entry.
 type resultCache struct {
-	mu      sync.Mutex
-	cap     int
-	order   *list.List // front = most recently used; values are *cacheEntry
-	entries map[string]*list.Element
-	stats   CacheStats
-}
-
-type cacheEntry struct {
-	key string
-	val []byte
+	lru *shardedLRU[*cacheValue]
 }
 
 func newResultCache(capacity int) *resultCache {
-	if capacity <= 0 {
-		capacity = 1
-	}
-	return &resultCache{
-		cap:     capacity,
-		order:   list.New(),
-		entries: make(map[string]*list.Element, capacity),
-	}
+	return &resultCache{lru: newShardedLRU[*cacheValue](capacity, 0)}
 }
 
-// get returns the cached record bytes for key, if present. The returned
-// slice is shared and must be treated as read-only.
-func (c *resultCache) get(key string) ([]byte, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
-		c.stats.Misses++
-		return nil, false
-	}
-	c.order.MoveToFront(el)
-	c.stats.Hits++
-	return el.Value.(*cacheEntry).val, true
+// newResultCacheShards pins the shard count — tests use it to prove hit/miss
+// behavior is shard-layout independent.
+func newResultCacheShards(capacity, shards int) *resultCache {
+	return &resultCache{lru: newShardedLRU[*cacheValue](capacity, shards)}
 }
 
-// put stores the record bytes under key, evicting the least recently used
-// entries over capacity. Storing an existing key is a no-op: determinism
-// guarantees the value is identical.
-func (c *resultCache) put(key string, val []byte) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el)
-		return
-	}
-	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, val: val})
-	c.stats.Bytes += int64(len(val))
-	for c.order.Len() > c.cap {
-		el := c.order.Back()
-		ent := el.Value.(*cacheEntry)
-		c.order.Remove(el)
-		delete(c.entries, ent.key)
-		c.stats.Bytes -= int64(len(ent.val))
-		c.stats.Evictions++
-	}
+func (c *resultCache) get(key string) (*cacheValue, bool) { return c.lru.get(key) }
+
+func (c *resultCache) getHash(key string, h uint64) (*cacheValue, bool) {
+	return c.lru.getHash(key, h)
 }
 
-func (c *resultCache) snapshot() CacheStats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Entries = c.order.Len()
-	return s
+// put stores v, accounting the wire record's size, and returns the canonical
+// entry for the key (v itself, or the earlier value it lost the fill race to).
+func (c *resultCache) put(key string, v *cacheValue) *cacheValue {
+	return c.putHash(key, cacheHashString(key), v)
+}
+
+func (c *resultCache) putHash(key string, h uint64, v *cacheValue) *cacheValue {
+	return c.lru.putHash(key, h, v, len(v.rec))
+}
+
+func (c *resultCache) snapshot() CacheStats { return c.lru.snapshot() }
+
+// cacheValue is one result-cache entry: the wire-encoded record (the source
+// of truth the in-process API decodes) plus fully rendered HTTP response
+// bodies, memoized per requesting graph name. The record is key-determined
+// and shared; the rendered body also echoes the request's own spec string,
+// and distinct specs can build fingerprint-identical graphs (Path(6) and
+// Grid(6,1), say), so bodies memoize per name. Rendering happens at most
+// once per (key, name): every later hit is a map lookup returning the same
+// byte slice, with no JSON work at all.
+type cacheValue struct {
+	key string
+	rec []byte
+
+	mu     sync.RWMutex
+	bodies map[string][]byte
+}
+
+// maxBodiesPerValue caps the per-entry rendered-body memo. Aliased specs are
+// rare (they require fingerprint-identical graphs under different names);
+// past the cap, bodies render per request without being retained.
+const maxBodiesPerValue = 8
+
+func newCacheValue(key string, rec []byte) *cacheValue {
+	return &cacheValue{key: key, rec: rec}
+}
+
+// bodyFor returns the rendered JSON response body of this record for a
+// request naming graphName — exactly the bytes json.Encoder would write for
+// the decoded record's Response (marshal plus trailing newline), so cached
+// bodies are byte-identical to freshly encoded ones by construction.
+func (v *cacheValue) bodyFor(graphName string) ([]byte, error) {
+	v.mu.RLock()
+	b := v.bodies[graphName]
+	v.mu.RUnlock()
+	if b != nil {
+		return b, nil
+	}
+	rec, err := decodeRecord(v.rec)
+	if err != nil {
+		return nil, err
+	}
+	j, err := json.Marshal(rec.response(v.key, graphName))
+	if err != nil {
+		return nil, err
+	}
+	j = append(j, '\n')
+	v.mu.Lock()
+	if cur := v.bodies[graphName]; cur != nil {
+		j = cur // a concurrent render won; share its bytes
+	} else if len(v.bodies) < maxBodiesPerValue {
+		if v.bodies == nil {
+			v.bodies = make(map[string][]byte, 1)
+		}
+		v.bodies[graphName] = j
+	}
+	v.mu.Unlock()
+	return j, nil
 }

@@ -227,24 +227,28 @@ type SessionSnapshot struct {
 // pure coloring reads are answered from the result cache when the session
 // fingerprint has not moved since the coloring was last rendered.
 func (s *Service) Mutate(req MutateRequest) (*MutateResponse, Outcome, error) {
-	s.requests.Add(1)
+	// Stripe the counters by session name: concurrent sessions update
+	// disjoint cache lines, and all of one request's counts stay coherent
+	// within its stripe.
+	ctr := s.counters.stripe(cacheHashString(req.Session))
+	ctr.requests.Add(1)
 	if req.Session == "" {
-		s.errors.Add(1)
+		ctr.errors.Add(1)
 		return nil, "", fmt.Errorf("service: mutate request needs a session name")
 	}
 	sess, err := s.sessions.get(req.Session, req.Base, s.buildMaintainer)
 	if err != nil {
-		s.errors.Add(1)
+		ctr.errors.Add(1)
 		return nil, "", err
 	}
 	if len(req.Ops) == 0 && req.Colors {
-		return s.readColors(req.Session, sess)
+		return s.readColors(req.Session, sess, ctr)
 	}
 
 	rep, applied, err := sess.mt.Apply(req.Ops)
-	s.mutations.Add(int64(applied))
+	ctr.mutations.Add(int64(applied))
 	if err != nil {
-		s.errors.Add(1)
+		ctr.errors.Add(1)
 		if sess.mt.Poisoned() {
 			// A failed repair disables the maintainer permanently; drop the
 			// session so the name can be recreated instead of serving
@@ -291,22 +295,24 @@ func (s *Service) buildMaintainer(spec exp.GraphSpec) (*dynamic.Maintainer, erro
 // hashes the session name and its current fingerprint, so every mutation
 // invalidates by moving the key, and a response body is a pure function of
 // its key — cache hits are byte-identical to fresh renders.
-func (s *Service) readColors(name string, sess *session) (*MutateResponse, Outcome, error) {
+func (s *Service) readColors(name string, sess *session, ctr *counterStripe) (*MutateResponse, Outcome, error) {
 	// The snapshot is atomic in the maintainer, so the (fingerprint,
 	// colors) pair cannot be torn by a concurrent mutation — exactly what a
-	// fingerprint-keyed cache entry requires.
+	// fingerprint-keyed cache entry requires. The wire fast lane is
+	// deliberately not used here: the fingerprint moves under mutation, so
+	// raw request bytes are not a stable key for session reads.
 	fp, n, m, delta, colors := sess.mt.Snapshot()
 	var kw wire.Writer
 	kw.String("colord-dynkey-v1").String(name).Raw(fp[:])
 	sum := sha256.Sum256(kw.Bytes())
 	key := hex.EncodeToString(sum[:])
-	if b, ok := s.cache.get(key); ok {
-		resp, err := decodeDynRecord(b)
+	if v, ok := s.cache.get(key); ok {
+		resp, err := decodeDynRecord(v.rec)
 		if err != nil {
-			s.errors.Add(1)
+			ctr.errors.Add(1)
 			return nil, "", err
 		}
-		s.hits.Add(1)
+		ctr.hits.Add(1)
 		return resp, Hit, nil
 	}
 	resp := &MutateResponse{
@@ -318,7 +324,7 @@ func (s *Service) readColors(name string, sess *session) (*MutateResponse, Outco
 		Colors:      colors,
 		NumColors:   graph.CountColors(colors),
 	}
-	s.cache.put(key, encodeDynRecord(resp))
+	s.cache.put(key, newCacheValue(key, encodeDynRecord(resp)))
 	return resp, Miss, nil
 }
 

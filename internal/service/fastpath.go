@@ -1,0 +1,104 @@
+package service
+
+import "sync/atomic"
+
+// The wire fast path.
+//
+// At a 99.9% hit rate, the serving cost of a request is not the coloring —
+// it is the JSON decode, the canonicalization, the sha256 key, and the JSON
+// encode wrapped around a map lookup. Determinism collapses all of it: the
+// response body is a pure function of the request's JSON bytes, so the bytes
+// themselves are a valid cache key. fastCache maps exact raw request bodies
+// to prerendered response bodies; a fast-lane hit is one hash, one striped
+// map lookup, and a Write — zero allocations, no JSON in either direction,
+// no global lock.
+//
+// The fast cache sits strictly in front of the canonical result cache and
+// is filled only from it (after a full decode/validate/render on the slow
+// lane), so every spelling of a request — field order, whitespace, engine
+// hints — serves the same canonical bytes it would get from the slow lane.
+// Entries never go stale: /v1/color results are immutable (mutable-session
+// reads do not use the fast lane), so eviction is purely a memory bound.
+type fastCache struct {
+	lru *shardedLRU[fastEntry]
+}
+
+// fastEntry is one prerendered response: the body shares its allocation
+// with the result cache's memoized render, and key feeds the X-Colord-Key
+// header without re-deriving it.
+type fastEntry struct {
+	body []byte
+	key  string
+}
+
+func newFastCache(capacity int) *fastCache {
+	return &fastCache{lru: newShardedLRU[fastEntry](capacity, 0)}
+}
+
+// getHash looks raw request bytes up with their precomputed cacheHash;
+// allocation-free on hit and miss.
+func (c *fastCache) getHash(body []byte, h uint64) (fastEntry, bool) {
+	return c.lru.getBytesHash(body, h)
+}
+
+// putHash stores the rendered response for raw request bytes. The string
+// conversion copies the request bytes exactly once, at fill time — the hit
+// path never copies. Accounted size covers both the key copy and the body.
+func (c *fastCache) putHash(body []byte, h uint64, e fastEntry) {
+	c.lru.putHash(string(body), h, e, len(body)+len(e.body))
+}
+
+func (c *fastCache) snapshot() CacheStats { return c.lru.snapshot() }
+
+// counterStripes must be a power of two; 8 stripes is plenty to keep
+// request-plane counter updates from serializing on one cache line at any
+// core count this service meets.
+const counterStripes = 8
+
+// counterStripe is one cache-line-padded slice of the request-plane
+// counters. Within a request, requests is always incremented before the
+// outcome counter, so per-stripe sums never show outcomes without their
+// requests.
+type counterStripe struct {
+	requests  atomic.Int64
+	hits      atomic.Int64
+	coalesced atomic.Int64
+	runs      atomic.Int64
+	errors    atomic.Int64
+	mutations atomic.Int64
+	_         [128 - 6*8]byte
+}
+
+// serviceCounters stripes the per-request counters across padded cache
+// lines, picked by the request's key hash. Snapshots sum the stripes, each
+// counter read once — a coherent local snapshot, monotone under load.
+type serviceCounters struct {
+	stripes [counterStripes]counterStripe
+}
+
+func (c *serviceCounters) stripe(h uint64) *counterStripe {
+	return &c.stripes[h&(counterStripes-1)]
+}
+
+// counterTotals is the summed snapshot of the striped counters.
+type counterTotals struct {
+	requests, hits, coalesced, runs, errors, mutations int64
+}
+
+func (c *serviceCounters) totals() counterTotals {
+	var t counterTotals
+	for i := range c.stripes {
+		s := &c.stripes[i]
+		// Outcomes first, requests last — the mirror image of the write
+		// order (requests before outcome). Any outcome visible in the
+		// snapshot then implies its request is too, so snapshots never show
+		// hits+coalesced+runs exceeding requests.
+		t.hits += s.hits.Load()
+		t.coalesced += s.coalesced.Load()
+		t.runs += s.runs.Load()
+		t.errors += s.errors.Load()
+		t.mutations += s.mutations.Load()
+		t.requests += s.requests.Load()
+	}
+	return t
+}

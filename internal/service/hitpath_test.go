@@ -1,0 +1,111 @@
+package service
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/exp"
+)
+
+// hitPathService returns a service with one result primed into the wire
+// fast path, plus the exact raw request bytes that hit it.
+func hitPathService(t testing.TB) (*Service, []byte) {
+	t.Helper()
+	s := New(Config{Workers: 2, Engine: dist.Compiled, CacheEntries: 4096})
+	req := Request{Kind: "edge", Alg: "be", Graph: exp.GraphSpec{Family: "gnm", N: 48, M: 120, Seed: 1}}
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, outcome, err := s.HandleRaw(body); err != nil {
+		t.Fatal(err)
+	} else if outcome != Miss {
+		t.Fatalf("priming request: outcome %q, want miss", outcome)
+	}
+	if _, _, outcome, err := s.HandleRaw(body); err != nil || outcome != Hit {
+		t.Fatalf("primed request: outcome %q err %v, want hit", outcome, err)
+	}
+	return s, body
+}
+
+// TestHitPathAllocs is the allocation budget of the serving fast path: a
+// wire fast-lane hit must stay within hitPathAllocBudget allocations per
+// request (the design target is zero — the budget leaves headroom for
+// runtime changes without masking a real regression).
+func TestHitPathAllocs(t *testing.T) {
+	const hitPathAllocBudget = 8
+	s, body := hitPathService(t)
+	defer s.Close()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, _, outcome, err := s.HandleRaw(body); err != nil || outcome != Hit {
+			t.Fatalf("outcome %q err %v, want hit", outcome, err)
+		}
+	})
+	if allocs > hitPathAllocBudget {
+		t.Fatalf("hit path allocates %.1f allocs/op, budget %d", allocs, hitPathAllocBudget)
+	}
+	t.Logf("hit path: %.1f allocs/op (budget %d)", allocs, hitPathAllocBudget)
+}
+
+// TestHitPathBody pins that the fast-lane body is byte-identical to the
+// slow lane's render: decode the raw hit through the typed API and re-encode.
+func TestHitPathBody(t *testing.T) {
+	s, body := hitPathService(t)
+	defer s.Close()
+	fast, key, _, err := s.HandleRaw(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var req Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		t.Fatal(err)
+	}
+	resp, _, err := s.Handle(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := json.Marshal(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow = append(slow, '\n')
+	if string(fast) != string(slow) {
+		t.Fatalf("fast-lane body differs from typed render:\nfast: %s\nslow: %s", fast, slow)
+	}
+	if key != resp.Key {
+		t.Fatalf("fast-lane key %q, typed key %q", key, resp.Key)
+	}
+}
+
+// BenchmarkHitPath measures the full in-process serving cost of a wire
+// fast-lane hit: hash, striped lookup, counters. Run with -benchmem; the
+// benchcmp gate watches ns/op, B/op, and allocs/op.
+func BenchmarkHitPath(b *testing.B) {
+	s, body := hitPathService(b)
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := s.HandleRaw(body); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkHitPathParallel is the contended variant: every P hammers the
+// same key, so it measures the striped counters and the shared shard mutex
+// under maximum collision.
+func BenchmarkHitPathParallel(b *testing.B) {
+	s, body := hitPathService(b)
+	defer s.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, _, _, err := s.HandleRaw(body); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

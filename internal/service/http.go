@@ -2,8 +2,37 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
+	"io"
 	"net/http"
+	"strconv"
+	"sync"
 )
+
+// bodyPool recycles request-read buffers so the color path allocates no
+// scratch per request. Valid requests are a few hundred bytes; 4 KiB covers
+// them without a grow, and grown buffers are recycled at their new size.
+var bodyPool = sync.Pool{
+	New: func() any { b := make([]byte, 0, 4096); return &b },
+}
+
+// readBody reads r to EOF into buf (io.ReadAll with a caller-owned buffer).
+func readBody(r io.Reader, buf []byte) ([]byte, error) {
+	b := buf[:0]
+	for {
+		if len(b) == cap(b) {
+			b = append(b, 0)[:len(b)]
+		}
+		n, err := r.Read(b[len(b):cap(b)])
+		b = b[:len(b)+n]
+		if err == io.EOF {
+			return b, nil
+		}
+		if err != nil {
+			return b, err
+		}
+	}
+}
 
 // Handler returns colord's HTTP API:
 //
@@ -19,27 +48,36 @@ import (
 func (s *Service) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/color", func(w http.ResponseWriter, r *http.Request) {
-		var req Request
 		// Valid requests are a few hundred bytes; refuse streamed novels.
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
+		bp := bodyPool.Get().(*[]byte)
+		body, err := readBody(http.MaxBytesReader(w, r.Body, 1<<16), *bp)
+		*bp = body[:0]
+		if err != nil {
+			bodyPool.Put(bp)
 			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 			return
 		}
-		resp, outcome, err := s.Handle(req)
+		resp, key, outcome, err := s.HandleRaw(body)
+		bodyPool.Put(bp)
 		if err != nil {
+			var bad *badRequestError
 			status := http.StatusUnprocessableEntity
-			if err == ErrClosed {
+			if errors.As(err, &bad) {
+				status = http.StatusBadRequest
+			} else if err == ErrClosed {
 				status = http.StatusServiceUnavailable
 			}
 			httpError(w, status, err.Error())
 			return
 		}
-		w.Header().Set("Content-Type", "application/json")
-		w.Header().Set("X-Colord-Cache", string(outcome))
-		w.Header().Set("X-Colord-Key", resp.Key)
-		writeJSON(w, resp)
+		h := w.Header()
+		h.Set("Content-Type", "application/json")
+		h.Set("X-Colord-Cache", string(outcome))
+		h.Set("X-Colord-Key", key)
+		// Explicit Content-Length: the body is prerendered, so nothing needs
+		// chunked framing (and simple raw-socket clients can rely on it).
+		h.Set("Content-Length", strconv.Itoa(len(resp)))
+		w.Write(resp)
 	})
 	mux.HandleFunc("POST /v1/mutate", func(w http.ResponseWriter, r *http.Request) {
 		var req MutateRequest

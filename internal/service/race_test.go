@@ -3,6 +3,8 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"sync"
 	"testing"
 	"time"
@@ -207,15 +209,30 @@ func TestServiceMatchesDirect(t *testing.T) {
 					// Stagger start points so clients collide on
 					// different requests.
 					r = workload[(i+cl*7)%len(workload)]
-					resp, _, err := s.Handle(r)
-					if err != nil {
-						errCh <- err
-						return
-					}
-					body, err := json.Marshal(resp)
-					if err != nil {
-						errCh <- err
-						return
+					var body []byte
+					if (i+cl)%3 == 0 {
+						// Exercise the raw wire path (fast lane + slow
+						// lane) alongside the typed API.
+						raw, err := json.Marshal(r)
+						if err != nil {
+							errCh <- err
+							return
+						}
+						body, _, _, err = s.HandleRaw(raw)
+						if err != nil {
+							errCh <- err
+							return
+						}
+					} else {
+						resp, _, err := s.Handle(r)
+						if err != nil {
+							errCh <- err
+							return
+						}
+						if body, err = json.Marshal(resp); err != nil {
+							errCh <- err
+							return
+						}
 					}
 					got, err := stripKey(body)
 					if err != nil {
@@ -246,5 +263,98 @@ func TestServiceMatchesDirect(t *testing.T) {
 	}
 	if st.Hits+st.Coalesced+st.Runs < total {
 		t.Fatalf("outcome accounting leaks: %+v vs %d requests", st, total)
+	}
+}
+
+// TestStatzUnderMixedLoad hammers /statz while color requests (typed and
+// raw) and session mutations run concurrently. Every snapshot must be
+// coherent: counters monotone across successive snapshots, outcomes never
+// exceeding requests, and cache totals non-negative. Run under -race this
+// also pins the striped-counter and sharded-snapshot synchronization.
+func TestStatzUnderMixedLoad(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for cl := 0; cl < 4; cl++ {
+		wg.Add(1)
+		go func(cl int) {
+			defer wg.Done()
+			// Each client owns one session on a cycle base: the chord
+			// (cl, cl+5) is never a cycle edge, so alternating insert and
+			// delete of it is always a valid op sequence.
+			base := exp.GraphSpec{Family: "cycle", N: 24}
+			present := false
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch (i + cl) % 3 {
+				case 0:
+					req := Request{Kind: "edge", Alg: "greedy", Graph: exp.GraphSpec{Family: "cycle", N: 10 + (i % 8)}}
+					if _, _, err := s.Handle(req); err != nil {
+						t.Errorf("handle: %v", err)
+						return
+					}
+				case 1:
+					raw, _ := json.Marshal(Request{Kind: "vertex", Alg: "greedy", Graph: exp.GraphSpec{Family: "tree", N: 12 + (i % 4), Seed: 3}})
+					if _, _, _, err := s.HandleRaw(raw); err != nil {
+						t.Errorf("handleRaw: %v", err)
+						return
+					}
+				case 2:
+					name := "statz-" + string(rune('a'+cl))
+					op := exp.Mutation{Op: exp.OpInsert, U: cl, V: cl + 5}
+					if present {
+						op.Op = exp.OpDelete
+					}
+					present = !present
+					if _, _, err := s.Mutate(MutateRequest{Session: name, Base: &base, Ops: []exp.Mutation{op}, Colors: i%2 == 0}); err != nil {
+						t.Errorf("mutate: %v", err)
+						return
+					}
+				}
+			}
+		}(cl)
+	}
+
+	var prev ServiceStats
+	deadline := time.After(800 * time.Millisecond)
+	for done := false; !done; {
+		select {
+		case <-deadline:
+			done = true
+		default:
+		}
+		resp, err := http.Get(srv.URL + "/statz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st ServiceStats
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.Requests < prev.Requests || st.Hits < prev.Hits || st.Coalesced < prev.Coalesced ||
+			st.Runs < prev.Runs || st.Errors < prev.Errors || st.Mutations < prev.Mutations {
+			t.Fatalf("counters went backwards: %+v then %+v", prev, st)
+		}
+		if st.Hits+st.Coalesced+st.Runs > st.Requests {
+			t.Fatalf("outcomes exceed requests: %+v", st)
+		}
+		if st.Cache.Bytes < 0 || st.Fast.Bytes < 0 || st.Cache.Entries < 0 || st.Fast.Entries < 0 {
+			t.Fatalf("negative cache totals: %+v", st)
+		}
+		prev = st
+	}
+	close(stop)
+	wg.Wait()
+	if prev.Requests == 0 || prev.Mutations == 0 {
+		t.Fatalf("workload did not register: %+v", prev)
 	}
 }

@@ -85,9 +85,12 @@ type Response struct {
 // execution needs, resolved up front so exec-time errors are limited to
 // genuine runtime failures.
 type canonReq struct {
-	req    Request // defaults filled in
-	entry  *graphEntry
-	key    string
+	req   Request // defaults filled in
+	entry *graphEntry
+	key   string
+	// hash is cacheHashString(key), computed once at resolve time: it picks
+	// the result-cache shard and the counter stripe without rehashing.
+	hash   uint64
 	opts   []dist.Option
 	runner func(c *canonReq) (*record, error)
 }

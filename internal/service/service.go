@@ -4,12 +4,16 @@
 // A request names a generated graph (exp.GraphSpec), a coloring kind (edge
 // or vertex), an algorithm, and a seed. The service resolves it against a
 // bounded LRU of built graphs (each carrying reusable dist runner pools),
-// then serves it through three layers:
+// then serves it through four layers:
 //
+//   - a wire fast path: raw request bytes map straight to prerendered
+//     response bytes in a lock-striped LRU (fastCache), so a repeat request
+//     is served with zero allocations and no JSON work in either direction;
 //   - a deterministic result cache keyed by a canonical hash of the graph
 //     fingerprint and the output-affecting parameters — the runtime is
 //     deterministic, so a key has exactly one possible value, and a hit
-//     costs zero runtime rounds;
+//     costs zero runtime rounds (and, with the response body memoized on
+//     the entry, zero encoding work);
 //   - a micro-batcher: concurrent misses are collected for a short window,
 //     duplicates of the same key are coalesced onto one execution
 //     (single-flight), and distinct jobs of a batch dispatch together;
@@ -18,11 +22,13 @@
 //     touching the same graph.
 //
 // Responses are byte-identical to a direct dist.Run of the same request —
-// cache hits, coalesced waiters, and fresh computations alike — which
-// TestServiceMatchesDirect pins adversarially under -race.
+// fast-lane hits, cache hits, coalesced waiters, and fresh computations
+// alike — which TestServiceMatchesDirect pins adversarially under -race.
 package service
 
 import (
+	"bytes"
+	"encoding/json"
 	"errors"
 	"sync"
 	"sync/atomic"
@@ -41,6 +47,9 @@ type Config struct {
 	Engine dist.Engine
 	// CacheEntries bounds the result cache (default 4096).
 	CacheEntries int
+	// FastEntries bounds the wire fast-path cache mapping raw request bytes
+	// to prerendered responses (default: CacheEntries).
+	FastEntries int
 	// GraphEntries bounds the built-graph LRU (default 64).
 	GraphEntries int
 	// BatchWindow is how long the batcher holds the first miss of a batch
@@ -66,6 +75,9 @@ func (c Config) withDefaults() Config {
 	if c.CacheEntries <= 0 {
 		c.CacheEntries = 4096
 	}
+	if c.FastEntries <= 0 {
+		c.FastEntries = c.CacheEntries
+	}
 	if c.GraphEntries <= 0 {
 		c.GraphEntries = 64
 	}
@@ -86,7 +98,8 @@ func (c Config) withDefaults() Config {
 type Outcome string
 
 const (
-	// Hit: served from the result cache, zero runtime rounds.
+	// Hit: served from the result cache (or the wire fast path in front of
+	// it), zero runtime rounds.
 	Hit Outcome = "hit"
 	// Coalesced: attached to another request's in-flight execution.
 	Coalesced Outcome = "coalesced"
@@ -102,11 +115,14 @@ type flight struct {
 }
 
 type flightResult struct {
-	rec []byte
+	val *cacheValue
 	err error
 }
 
-// ServiceStats is the /statz snapshot.
+// ServiceStats is the /statz snapshot. Counters are striped internally;
+// Stats sums each stripe with single atomic loads into this one local
+// struct, so a snapshot is coherent (no field is read twice) and monotone
+// across snapshots.
 type ServiceStats struct {
 	// Engine is the service's default dist scheduler (requests may override
 	// per-call; dynamic sessions always repair on the compiled engine).
@@ -120,15 +136,17 @@ type ServiceStats struct {
 	MaxBatch  int64             `json:"maxBatch"`
 	Mutations int64             `json:"mutations"`
 	Cache     CacheStats        `json:"cache"`
+	Fast      CacheStats        `json:"fastCache"`
 	Pools     []PoolSnapshot    `json:"pools"`
 	Sessions  []SessionSnapshot `json:"sessions"`
 }
 
-// Service is the coloring service. Create with New, serve with Handle (or
-// the HTTP handler from Handler), stop with Close.
+// Service is the coloring service. Create with New, serve with Handle or
+// HandleRaw (or the HTTP handler from Handler), stop with Close.
 type Service struct {
 	cfg      Config
 	cache    *resultCache
+	fast     *fastCache
 	graphs   *graphCache
 	sessions *sessionTable
 	sem      chan struct{}
@@ -138,14 +156,9 @@ type Service struct {
 	inflight map[string]*flight
 	closed   bool
 
-	requests  atomic.Int64
-	hits      atomic.Int64
-	coalesced atomic.Int64
-	runs      atomic.Int64
-	errors    atomic.Int64
-	batches   atomic.Int64
-	maxBatch  atomic.Int64
-	mutations atomic.Int64
+	counters serviceCounters
+	batches  atomic.Int64
+	maxBatch atomic.Int64
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -157,6 +170,7 @@ func New(cfg Config) *Service {
 	s := &Service{
 		cfg:      cfg,
 		cache:    newResultCache(cfg.CacheEntries),
+		fast:     newFastCache(cfg.FastEntries),
 		graphs:   newGraphCache(cfg.GraphEntries, cfg.Workers),
 		sessions: newSessionTable(cfg.Sessions),
 		sem:      make(chan struct{}, cfg.Workers),
@@ -188,23 +202,79 @@ func (s *Service) Close() {
 // ErrClosed is returned by Handle after Close.
 var ErrClosed = errors.New("service: closed")
 
+// badRequestError marks a request whose JSON failed to decode; the HTTP
+// layer maps it to 400 without touching the service counters (a body that
+// never parsed never became a request).
+type badRequestError struct{ err error }
+
+func (e *badRequestError) Error() string { return "bad request body: " + e.err.Error() }
+func (e *badRequestError) Unwrap() error { return e.err }
+
 // Handle serves one request: cache lookup, then coalescing onto an in-flight
 // execution, then a batched fresh execution. Safe for arbitrary concurrency.
 func (s *Service) Handle(req Request) (*Response, Outcome, error) {
-	s.requests.Add(1)
-	c, err := s.resolve(req)
+	c, v, outcome, err := s.handleCore(req)
 	if err != nil {
-		s.errors.Add(1)
 		return nil, "", err
 	}
-	if b, ok := s.cache.get(c.key); ok {
-		rec, err := decodeRecord(b)
-		if err != nil {
-			s.errors.Add(1)
-			return nil, "", err
-		}
-		s.hits.Add(1)
-		return rec.response(c.key, c.req.Graph.String()), Hit, nil
+	rec, err := decodeRecord(v.rec)
+	if err != nil {
+		s.counters.stripe(c.hash).errors.Add(1)
+		return nil, "", err
+	}
+	return rec.response(c.key, c.req.Graph.String()), outcome, nil
+}
+
+// HandleRaw serves one request straight from its raw JSON bytes. A repeat
+// body is a wire fast-path hit: one hash, one striped lookup, and the
+// prerendered response bytes back — zero allocations, no JSON decoded or
+// encoded, no global lock. First sightings take the slow lane (full decode,
+// canonical cache, render) and prime the fast path on the way out. The
+// returned body is exactly what the HTTP layer writes (json.Encoder form,
+// trailing newline included) and must be treated as read-only.
+func (s *Service) HandleRaw(body []byte) (resp []byte, key string, outcome Outcome, err error) {
+	h := cacheHash(body)
+	if e, ok := s.fast.getHash(body, h); ok {
+		ctr := s.counters.stripe(h)
+		ctr.requests.Add(1)
+		ctr.hits.Add(1)
+		return e.body, e.key, Hit, nil
+	}
+	var req Request
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return nil, "", "", &badRequestError{err}
+	}
+	c, v, outcome, err := s.handleCore(req)
+	if err != nil {
+		return nil, "", "", err
+	}
+	b, err := v.bodyFor(c.req.Graph.String())
+	if err != nil {
+		s.counters.stripe(c.hash).errors.Add(1)
+		return nil, "", "", err
+	}
+	s.fast.putHash(body, h, fastEntry{body: b, key: c.key})
+	return b, c.key, outcome, nil
+}
+
+// handleCore is the shared request path behind Handle and HandleRaw:
+// resolve, result-cache lookup, then the single-flight batcher. It owns all
+// counter accounting for the request.
+func (s *Service) handleCore(req Request) (*canonReq, *cacheValue, Outcome, error) {
+	c, err := s.resolve(req)
+	if err != nil {
+		ctr := &s.counters.stripes[0]
+		ctr.requests.Add(1)
+		ctr.errors.Add(1)
+		return nil, nil, "", err
+	}
+	ctr := s.counters.stripe(c.hash)
+	ctr.requests.Add(1)
+	if v, ok := s.cache.getHash(c.key, c.hash); ok {
+		ctr.hits.Add(1)
+		return c, v, Hit, nil
 	}
 
 	ch := make(chan flightResult, 1)
@@ -212,8 +282,8 @@ func (s *Service) Handle(req Request) (*Response, Outcome, error) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		s.errors.Add(1)
-		return nil, "", ErrClosed
+		ctr.errors.Add(1)
+		return nil, nil, "", ErrClosed
 	}
 	f, ok := s.inflight[c.key]
 	if ok {
@@ -225,7 +295,7 @@ func (s *Service) Handle(req Request) (*Response, Outcome, error) {
 	}
 	s.mu.Unlock()
 	if outcome == Coalesced {
-		s.coalesced.Add(1)
+		ctr.coalesced.Add(1)
 	} else {
 		select {
 		case s.submit <- f:
@@ -236,15 +306,10 @@ func (s *Service) Handle(req Request) (*Response, Outcome, error) {
 
 	r := <-ch
 	if r.err != nil {
-		s.errors.Add(1)
-		return nil, "", r.err
+		ctr.errors.Add(1)
+		return nil, nil, "", r.err
 	}
-	rec, err := decodeRecord(r.rec)
-	if err != nil {
-		s.errors.Add(1)
-		return nil, "", err
-	}
-	return rec.response(c.key, c.req.Graph.String()), outcome, nil
+	return c, r.val, outcome, nil
 }
 
 // batchLoop is the micro-batcher: it collects submitted flights until the
@@ -291,14 +356,16 @@ func (s *Service) batchLoop() {
 				s.fail(f, ErrClosed)
 			}
 			// Flights submitted concurrently with shutdown are failed by
-			// Handle's own select; nothing further arrives here.
+			// handleCore's own select; nothing further arrives here.
 			return
 		}
 	}
 }
 
-// exec runs one flight on the bounded worker stage and delivers the wire
-// record to every waiter.
+// exec runs one flight on the bounded worker stage and delivers the cache
+// entry to every waiter. The fill renders the filling request's response
+// body eagerly, so by the time waiters wake the entry already carries the
+// bytes the HTTP layer writes.
 func (s *Service) exec(f *flight) {
 	defer s.wg.Done()
 	s.sem <- struct{}{}
@@ -306,16 +373,19 @@ func (s *Service) exec(f *flight) {
 	// A flight for this key may have completed and cached between our
 	// cache miss and this execution; determinism makes recomputing merely
 	// wasteful, so look once more before running.
-	b, ok := s.cache.get(f.c.key)
+	v, ok := s.cache.getHash(f.c.key, f.c.hash)
 	if !ok {
-		s.runs.Add(1)
+		s.counters.stripe(f.c.hash).runs.Add(1)
 		rec, err := f.c.runner(f.c)
 		if err != nil {
 			s.fail(f, err)
 			return
 		}
-		b = rec.encode()
-		s.cache.put(f.c.key, b)
+		v = s.cache.putHash(f.c.key, f.c.hash, newCacheValue(f.c.key, rec.encode()))
+		if _, err := v.bodyFor(f.c.req.Graph.String()); err != nil {
+			s.fail(f, err)
+			return
+		}
 	}
 	s.mu.Lock()
 	delete(s.inflight, f.c.key)
@@ -323,7 +393,7 @@ func (s *Service) exec(f *flight) {
 	f.waiters = nil
 	s.mu.Unlock()
 	for _, ch := range waiters {
-		ch <- flightResult{rec: b}
+		ch <- flightResult{val: v}
 	}
 }
 
@@ -339,19 +409,21 @@ func (s *Service) fail(f *flight, err error) {
 	}
 }
 
-// Stats snapshots the service counters, cache, and per-graph runner pools.
+// Stats snapshots the service counters, caches, and per-graph runner pools.
 func (s *Service) Stats() ServiceStats {
+	t := s.counters.totals()
 	return ServiceStats{
 		Engine:    s.cfg.Engine.String(),
-		Requests:  s.requests.Load(),
-		Hits:      s.hits.Load(),
-		Coalesced: s.coalesced.Load(),
-		Runs:      s.runs.Load(),
-		Errors:    s.errors.Load(),
+		Requests:  t.requests,
+		Hits:      t.hits,
+		Coalesced: t.coalesced,
+		Runs:      t.runs,
+		Errors:    t.errors,
 		Batches:   s.batches.Load(),
 		MaxBatch:  s.maxBatch.Load(),
-		Mutations: s.mutations.Load(),
+		Mutations: t.mutations,
 		Cache:     s.cache.snapshot(),
+		Fast:      s.fast.snapshot(),
 		Pools:     s.graphs.snapshot(),
 		Sessions:  s.sessions.snapshot(),
 	}

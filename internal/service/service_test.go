@@ -242,13 +242,13 @@ func TestGraphCacheEviction(t *testing.T) {
 }
 
 func TestResultCacheEviction(t *testing.T) {
-	c := newResultCache(2)
-	c.put("a", []byte("1"))
-	c.put("b", []byte("22"))
+	c := newResultCache(2) // capacity 2 ⇒ shardsFor gives 1 shard ⇒ strict LRU
+	c.put("a", newCacheValue("a", []byte("1")))
+	c.put("b", newCacheValue("b", []byte("22")))
 	if _, ok := c.get("a"); !ok {
 		t.Fatal("a missing")
 	}
-	c.put("c", []byte("333")) // evicts b (LRU)
+	c.put("c", newCacheValue("c", []byte("333"))) // evicts b (LRU)
 	if _, ok := c.get("b"); ok {
 		t.Fatal("b should have been evicted")
 	}

@@ -2,17 +2,21 @@
 # bench_service.sh — drive the colord service with cmd/loadgen and emit
 # BENCH_service.json through the cmd/benchjson pipeline.
 #
-# Three workloads are measured against an in-process colord (full HTTP
-# round trip on loopback): coloring mixes "small" (few distinct keys,
-# cache-dominated steady state) and "medium" (many keys, execution-heavy),
-# plus the "churn" workload — per-client dynamic sessions streaming mutation
-# batches through /v1/mutate with incremental repair. The JSON tracks
-# throughput (req/s, and mut/s for churn), latency (ns/op, p50-ns, p99-ns,
-# max-ns), and cache behavior (hit-rate, coalesce-rate) per workload.
+# Four workloads are measured. Three drive an in-process colord over the
+# full HTTP round trip on loopback (with loadgen's raw persistent-connection
+# driver): coloring mixes "small" (few distinct keys, cache-dominated steady
+# state) and "medium" (many keys, execution-heavy), plus the "churn"
+# workload — per-client dynamic sessions streaming mutation batches through
+# /v1/mutate with incremental repair. The fourth is the in-process
+# BenchmarkHitPath microbenchmark: the serving fast path alone (hash, striped
+# lookup, counters), with its allocation figures. The JSON tracks throughput
+# (req/s, and mut/s for churn), latency (ns/op, p50-ns, p99-ns, max-ns),
+# allocation cost (B/op, allocs/op), and cache behavior (hit-rate,
+# coalesce-rate) per workload.
 #
 # Usage:
 #   scripts/bench_service.sh                  # full run, writes BENCH_service.json
-#   DURATION=300ms scripts/bench_service.sh   # quick smoke (CI uses this)
+#   DURATION=300ms BENCHTIME=1x scripts/bench_service.sh  # quick smoke (CI)
 #   OUT=/dev/stdout scripts/bench_service.sh  # print the JSON instead
 #   ENGINE=compiled scripts/bench_service.sh  # pin the coloring requests'
 #                                             # engine (CI smokes compiled)
@@ -20,6 +24,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 DURATION="${DURATION:-5s}"
+BENCHTIME="${BENCHTIME:-2s}"
 CLIENTS="${CLIENTS:-8}"
 ENGINE="${ENGINE:-}"
 OUT="${OUT:-BENCH_service.json}"
@@ -29,5 +34,8 @@ trap 'rm -f "$TXT"' EXIT
 go run ./cmd/loadgen -bench -duration "$DURATION" -clients "$CLIENTS" -mix small -seeds 8 ${ENGINE:+-engine "$ENGINE"} | tee "$TXT"
 go run ./cmd/loadgen -bench -duration "$DURATION" -clients "$CLIENTS" -mix medium -seeds 32 ${ENGINE:+-engine "$ENGINE"} | tee -a "$TXT"
 go run ./cmd/loadgen -bench -mode churn -duration "$DURATION" -clients "$CLIENTS" -mix small -batch 16 | tee -a "$TXT"
+# -cpu 1 keeps the benchmark name free of the GOMAXPROCS suffix, so the
+# baseline key is stable across differently-sized machines.
+go test -run '^$' -bench '^BenchmarkHitPath$' -cpu 1 -benchtime "$BENCHTIME" -benchmem ./internal/service | tee -a "$TXT"
 go run ./cmd/benchjson < "$TXT" > "$OUT"
 echo "wrote $OUT" >&2
