@@ -52,7 +52,7 @@ bench-service:
 # loadgen, the hit-path microbenchmark (-benchmem), and the JSON pipeline
 # stay runnable. CI runs this.
 bench-service-smoke:
-	DURATION=300ms BENCHTIME=1x OUT=/dev/null scripts/bench_service.sh
+	DURATION=300ms BENCHTIME=1x SUBS=50 RATE=0 SETTLE=0 OUT=/dev/null scripts/bench_service.sh
 
 # Rerun the service bench and fail if p50, req/s, B/op, or allocs/op regress
 # more than 3x against the committed BENCH_service.json (BENCH_WARN_ONLY=1

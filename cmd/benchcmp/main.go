@@ -5,13 +5,15 @@
 // Two baseline kinds are understood, selected by -kind:
 //
 //   - service (default, baseline BENCH_service.json): gates p50-ns (median
-//     latency, regressed when current > factor × baseline), req/s
-//     (throughput, regressed when current < baseline / factor), and the
-//     allocation metrics B/op and allocs/op (regressed when current >
-//     factor × baseline). Allocation gates use a floor — the baseline is
-//     clamped up to a few allocations before the ratio is taken — so a
-//     zero- or near-zero-allocation baseline doesn't turn one stray
-//     allocation into an infinite ratio;
+//     latency, regressed when current > factor × baseline), delta-p50-ns
+//     (the subscribe workload's commit-to-subscriber fan-out latency, same
+//     direction), req/s (throughput, regressed when current < baseline /
+//     factor), and the allocation metrics B/op and allocs/op (regressed when
+//     current > factor × baseline). Allocation gates and delta-p50-ns use a
+//     floor — the baseline is clamped up (a few allocations; 1ms of fan-out
+//     latency) before the ratio is taken — so a zero- or near-zero baseline
+//     doesn't turn one stray allocation or a fast machine's sub-millisecond
+//     fan-out into an infinite ratio;
 //   - runtime (baseline BENCH_runtime.json): gates ns/op the same way p50-ns
 //     gates latency. The deterministic LOCAL-model metrics (rounds, msgBytes,
 //     colors, ...) must match exactly — a changed round count is a semantics
@@ -77,6 +79,7 @@ func run(args []string) error {
 	case "service":
 		gates = []gate{
 			{metric: "p50-ns", upIsBad: true},
+			{metric: "delta-p50-ns", upIsBad: true, floor: 1e6},
 			{metric: "req/s"},
 			{metric: "B/op", upIsBad: true, floor: 512},
 			{metric: "allocs/op", upIsBad: true, floor: 4},

@@ -10,6 +10,8 @@
 // API:
 //
 //	POST /v1/color   {"kind":"edge","alg":"be","graph":{"family":"gnm","n":256,"m":1024,"seed":1},"seed":7}
+//	POST /v1/mutate  {"session":"s1","base":{...},"ops":[{"op":"insert","u":3,"v":9}]}
+//	GET  /v1/subscribe?session=s1   (SSE: per-mutation recolor deltas)
 //	GET  /healthz
 //	GET  /statz
 //
@@ -54,6 +56,9 @@ func run(args []string) error {
 		graphs  = fs.Int("graphs", 64, "built-graph cache capacity (entries)")
 		window  = fs.Duration("batch-window", 200*time.Microsecond, "micro-batch collection window")
 		maxB    = fs.Int("batch-max", 64, "dispatch a batch early at this many distinct jobs")
+		subsMax = fs.Int("max-subscribers", 4096, "global cap on concurrent SSE subscribers")
+		subsPer = fs.Int("session-subscribers", 1024, "per-session SSE subscriber quota")
+		feedBuf = fs.Int("feed-buffer", 256, "delta frames buffered per session feed (the subscriber lag bound)")
 		pprofA  = fs.String("pprof", "", "serve net/http/pprof on this side address (empty = off), e.g. localhost:6060")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -68,12 +73,15 @@ func run(args []string) error {
 		w = runtimeWorkers()
 	}
 	s := service.New(service.Config{
-		Workers:      w,
-		Engine:       eng,
-		CacheEntries: *cache,
-		GraphEntries: *graphs,
-		BatchWindow:  *window,
-		MaxBatch:     *maxB,
+		Workers:            w,
+		Engine:             eng,
+		CacheEntries:       *cache,
+		GraphEntries:       *graphs,
+		BatchWindow:        *window,
+		MaxBatch:           *maxB,
+		MaxSubscribers:     *subsMax,
+		SessionSubscribers: *subsPer,
+		FeedBuffer:         *feedBuf,
 	})
 	defer s.Close()
 

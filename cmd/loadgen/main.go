@@ -2,14 +2,19 @@
 // clients replay a workload against a colord instance and report
 // throughput, latency percentiles, and cache behavior.
 //
-// Two modes:
+// Three modes:
 //
 //   - -mode color (default): a mixed coloring workload (generator families
-//     × sizes × algorithms × seeds) against /v1/color.
+//     × sizes × algorithms × seeds) against /v1/color. An untimed warmup
+//     pass primes the caches first (disable with -warmup=false).
 //   - -mode churn: each client owns a dynamic graph session and streams
 //     deterministic mutation batches (exp.MutationStream; the generator
 //     kind rotates mix/window/hotspot across clients) against /v1/mutate,
 //     measuring mutation throughput and repair latency.
+//   - -mode subscribe: one mutating writer against a single session, -subs
+//     concurrent SSE subscribers on /v1/subscribe, measuring writer
+//     throughput alongside delta fan-out latency (commit timestamp to
+//     subscriber receipt) p50/p99. -rate throttles the writer.
 //
 // With no -addr it starts an in-process colord on a loopback port, so one
 // command measures the full HTTP round trip (-duration and -d are the same
@@ -109,8 +114,10 @@ type result struct {
 // on a loopback port when addr is empty. sessions sizes the in-process
 // server's dynamic-session table (0 = server default); churn mode needs it
 // above the client count or concurrent sessions would evict each other
-// mid-stream. cleanup is always non-nil.
-func startServer(addr string, workers, sessions int) (string, func(), error) {
+// mid-stream. maxSubs raises the subscriber caps (0 = server defaults);
+// subscribe mode needs it above the fleet size or late subscribers bounce
+// off admission control. cleanup is always non-nil.
+func startServer(addr string, workers, sessions, maxSubs int) (string, func(), error) {
 	if addr != "" {
 		return addr, func() {}, nil
 	}
@@ -119,7 +126,12 @@ func startServer(addr string, workers, sessions int) (string, func(), error) {
 	}
 	// Match cmd/colord's default engine so in-process measurements track the
 	// daemon's production configuration.
-	svc := service.New(service.Config{Workers: workers, Engine: dist.Compiled, Sessions: sessions})
+	cfg := service.Config{Workers: workers, Engine: dist.Compiled, Sessions: sessions}
+	if maxSubs > 0 {
+		cfg.MaxSubscribers = maxSubs
+		cfg.SessionSubscribers = maxSubs
+	}
+	svc := service.New(cfg)
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		svc.Close()
@@ -175,10 +187,13 @@ func run(args []string) error {
 		duration = fs.Duration("duration", 5*time.Second, "how long to drive load")
 		dAlias   = fs.Duration("d", 5*time.Second, "alias for -duration")
 		clients  = fs.Int("clients", 8, "concurrent closed-loop clients")
-		mode     = fs.String("mode", "color", "workload mode: color|churn")
+		mode     = fs.String("mode", "color", "workload mode: color|churn|subscribe")
 		mixName  = fs.String("mix", "small", "workload mix: small|medium")
 		seeds    = fs.Int("seeds", 8, "distinct algorithm seeds per template (controls the miss rate; color mode)")
-		batch    = fs.Int("batch", 16, "mutations per request (churn mode)")
+		batch    = fs.Int("batch", 16, "mutations per request (churn and subscribe modes)")
+		subs     = fs.Int("subs", 200, "concurrent SSE subscribers (subscribe mode)")
+		rate     = fs.Int("rate", 0, "writer mutations/second, 0 = unthrottled (subscribe mode)")
+		warmup   = fs.Bool("warmup", true, "untimed cache-priming pass over the workload before the measured window (color mode)")
 		engine   = fs.String("engine", "", "request-level engine override (empty = server default; color mode)")
 		workers  = fs.Int("workers", 0, "in-process server workers (0 = GOMAXPROCS)")
 		driver   = fs.String("driver", "raw", "HTTP client driver: raw (persistent-connection wire client) or std (net/http); color mode")
@@ -207,8 +222,14 @@ func run(args []string) error {
 	if *mode == "churn" {
 		return runChurn(*addr, *duration, *clients, *mixName, *batch, *workers, *profile, *bench)
 	}
+	if *mode == "subscribe" {
+		if *subs < 1 {
+			return fmt.Errorf("need -subs >= 1 (got %d)", *subs)
+		}
+		return runSubscribe(*addr, *duration, *subs, *rate, *mixName, *batch, *workers, *profile, *bench)
+	}
 	if *mode != "color" {
-		return fmt.Errorf("unknown mode %q (want color or churn)", *mode)
+		return fmt.Errorf("unknown mode %q (want color, churn, or subscribe)", *mode)
 	}
 	templates, err := mixes(*mixName)
 	if err != nil {
@@ -236,7 +257,7 @@ func run(args []string) error {
 		}
 	}
 
-	base, cleanup, err := startServer(*addr, *workers, 0)
+	base, cleanup, err := startServer(*addr, *workers, 0, 0)
 	if err != nil {
 		return err
 	}
@@ -255,6 +276,44 @@ func run(args []string) error {
 	}
 	transport := &http.Transport{MaxIdleConnsPerHost: *clients}
 	client := &http.Client{Transport: transport}
+
+	if *warmup {
+		// One untimed pass over every distinct key before the clock starts.
+		// Without it, short windows on small machines measure cache *filling*
+		// rather than cache *serving*: the first pass's misses are the
+		// expensive colorings, and on a 2s run they can dominate the window
+		// and crater the reported throughput. The warmup eats those misses
+		// off the clock (priming the result cache and, since the handler is
+		// keyed on raw bytes, the wire fast path too), so the measured window
+		// starts at the steady state the longer runs converge to. Off-clock
+		// by construction: runs before the profile and the mem0 snapshot.
+		var wwg sync.WaitGroup
+		warmErrs := make(chan error, *clients)
+		for c := 0; c < *clients; c++ {
+			wwg.Add(1)
+			go func(c int) {
+				defer wwg.Done()
+				for i := c; i < len(workload); i += *clients {
+					resp, err := client.Post(url, "application/json", bytes.NewReader(workload[i]))
+					if err != nil {
+						warmErrs <- err
+						return
+					}
+					_, _ = io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						warmErrs <- fmt.Errorf("warmup: status %d", resp.StatusCode)
+						return
+					}
+				}
+			}(c)
+		}
+		wwg.Wait()
+		close(warmErrs)
+		for err := range warmErrs {
+			return fmt.Errorf("warmup pass failed: %w", err)
+		}
+	}
 
 	stopProfile, err := startCPUProfile(*profile)
 	if err != nil {
@@ -438,7 +497,7 @@ func runChurn(addr string, duration time.Duration, clients int, mixName string, 
 	// plus rollover slack, or concurrent sessions evict each other
 	// mid-stream. (Against an external -addr, the server's own -sessions
 	// flag must exceed -clients the same way.)
-	serverURL, cleanup, err := startServer(addr, workers, 4*clients)
+	serverURL, cleanup, err := startServer(addr, workers, 4*clients, 0)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,132 @@
+package dynamic
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/exp"
+	"repro/internal/graph"
+)
+
+// TestCommitEventsMirrorColoring is the streaming-feed contract test: a
+// client that sees only CommitEvents must be able to mirror the maintained
+// coloring exactly. We replay a churn stream with an OnCommit hook, apply
+// each event's Op to a mirrored edge set and its Changed list to a mirrored
+// coloring, and require the mirror to match the maintainer's own state after
+// every commit — same colors, same fingerprint, consecutive sequence numbers.
+func TestCommitEventsMirrorColoring(t *testing.T) {
+	streams := []exp.MutationStream{
+		{Kind: "mix", Base: exp.GraphSpec{Family: "gnm", N: 32, M: 70, Seed: 2}, Ops: 80, Seed: 5},
+		{Kind: "window", Base: exp.GraphSpec{Family: "cycle", N: 24}, Ops: 80, Seed: 7, Window: 10},
+		{Kind: "hotspot", Base: exp.GraphSpec{Family: "gnm", N: 36, M: 80, Seed: 8}, Ops: 80, Seed: 9, Hot: 5},
+	}
+	for _, s := range streams {
+		t.Run(s.String(), func(t *testing.T) {
+			base, muts, err := s.Generate()
+			if err != nil {
+				t.Fatal(err)
+			}
+			var events []CommitEvent
+			m, err := New(base, Config{Engine: dist.Compiled, OnCommit: func(ev CommitEvent) {
+				events = append(events, ev)
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer m.Close()
+
+			// Seed the mirror with the initial maintained coloring.
+			mirror := make(map[graph.Edge]int)
+			for id, e := range base.Edges() {
+				mirror[e] = m.Colors()[id]
+			}
+
+			for i, mut := range muts {
+				rep, _, err := m.Apply([]exp.Mutation{mut})
+				if err != nil {
+					t.Fatalf("op %d: %v", i, err)
+				}
+				if len(events) != i+1 {
+					t.Fatalf("op %d: %d events, want %d", i, len(events), i+1)
+				}
+				ev := events[i]
+				if ev.Seq != int64(i+1) {
+					t.Fatalf("op %d: seq %d, want %d", i, ev.Seq, i+1)
+				}
+				if ev.Op != mut {
+					t.Fatalf("op %d: event op %+v, want %+v", i, ev.Op, mut)
+				}
+				if ev.Report.Dirty != len(ev.Changed) {
+					t.Fatalf("op %d: Dirty %d but %d changed entries", i, ev.Report.Dirty, len(ev.Changed))
+				}
+				if ev.Report != rep {
+					t.Fatalf("op %d: event report %+v, Apply returned %+v", i, ev.Report, rep)
+				}
+				// Apply the delta to the mirror: edge-set change first, then
+				// the recolors (an insert's own edge is always in Changed).
+				if mut.Op == exp.OpDelete {
+					delete(mirror, canonEdge(mut.U, mut.V))
+				}
+				for j, ch := range ev.Changed {
+					if ch.U >= ch.V {
+						t.Fatalf("op %d: changed[%d] not canonical: %+v", i, j, ch)
+					}
+					if j > 0 && !lexLessEdge(graph.Edge{U: ev.Changed[j-1].U, V: ev.Changed[j-1].V}, graph.Edge{U: ch.U, V: ch.V}) {
+						t.Fatalf("op %d: changed list out of lexicographic order at %d", i, j)
+					}
+					mirror[graph.Edge{U: ch.U, V: ch.V}] = ch.Color
+				}
+				if ev.Fingerprint != m.Fingerprint() {
+					t.Fatalf("op %d: event fingerprint differs from maintainer's", i)
+				}
+				g := m.Graph()
+				if ev.N != g.N() || ev.M != g.M() || ev.Delta != g.MaxDegree() {
+					t.Fatalf("op %d: event shape (%d,%d,%d) vs graph (%d,%d,%d)",
+						i, ev.N, ev.M, ev.Delta, g.N(), g.M(), g.MaxDegree())
+				}
+				want := make(map[graph.Edge]int, g.M())
+				cols := m.Colors()
+				for id, e := range g.Edges() {
+					want[e] = cols[id]
+				}
+				if !reflect.DeepEqual(mirror, want) {
+					t.Fatalf("op %d (%s %d-%d): mirror diverged from maintained coloring", i, mut.Op, mut.U, mut.V)
+				}
+			}
+		})
+	}
+}
+
+// TestNoCommitEventOnFailure pins that failed mutations emit no event: the
+// feed only ever carries committed state.
+func TestNoCommitEventOnFailure(t *testing.T) {
+	b := graph.NewBuilder(4)
+	for _, e := range [][2]int{{0, 1}, {1, 2}, {2, 3}} {
+		if err := b.AddEdge(e[0], e[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g := b.Build()
+	var events int
+	m, err := New(g, Config{OnCommit: func(CommitEvent) { events++ }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Insert(0, 1); err == nil { // duplicate insert
+		t.Fatal("duplicate insert succeeded")
+	}
+	if _, err := m.Delete(0, 3); err == nil { // not an edge
+		t.Fatal("delete of a non-edge succeeded")
+	}
+	if events != 0 {
+		t.Fatalf("%d commit events from failed mutations", events)
+	}
+	if _, err := m.Insert(0, 2); err != nil {
+		t.Fatal(err)
+	}
+	if events != 1 {
+		t.Fatalf("%d commit events after one successful insert, want 1", events)
+	}
+}

@@ -30,6 +30,44 @@ type Config struct {
 	// to CSR: 0 means the adaptive default max(64, m/4); < 0 disables
 	// auto-compaction (Compact can still be called explicitly).
 	CompactPending int
+	// OnCommit, when set, observes every successfully committed mutation:
+	// it is called under the maintainer's lock, after the repair has been
+	// spliced and seam-checked, with the exact recolor delta of that
+	// mutation. Calls arrive in commit order with consecutive sequence
+	// numbers — the hook is the streaming feed's source of truth. It must
+	// not call back into the Maintainer (deadlock) and should return
+	// quickly: the mutating writer waits on it.
+	OnCommit func(CommitEvent)
+}
+
+// ChangedColor is one entry of a commit's recolor delta: edge (U, V) now has
+// color Color. U < V (canonical edge orientation).
+type ChangedColor struct {
+	U     int `json:"u"`
+	V     int `json:"v"`
+	Color int `json:"color"`
+}
+
+// CommitEvent is the delta of one committed mutation, as observed by
+// Config.OnCommit: everything a mirror needs to track the maintained
+// coloring incrementally. Applying Op to the previous edge set and Changed
+// to the previous coloring (deleting the deleted edge's entry) yields the
+// exact post-commit state, whose identity Fingerprint names.
+type CommitEvent struct {
+	// Seq is the 1-based count of committed mutations of this maintainer;
+	// consecutive events have consecutive Seq.
+	Seq int64
+	// Op is the committed mutation.
+	Op exp.Mutation
+	// Report is the repair scope of this mutation (Dirty == len(Changed)).
+	Report Report
+	// Changed lists the edges whose color changed, in lexicographic order.
+	// An insert always includes the new edge; a deletion may be empty (the
+	// cascade was empty) — the deleted edge itself is never listed.
+	Changed []ChangedColor
+	// Fingerprint, N, M, Delta describe the graph after the commit.
+	Fingerprint graph.Fingerprint
+	N, M, Delta int
 }
 
 // Report is the scope of one mutation's repair: how much of the graph the
@@ -167,7 +205,7 @@ func (m *Maintainer) Insert(u, v int) (Report, error) {
 	}
 	m.stats.Mutations++
 	m.stats.Inserts++
-	rep, err := m.repair([]graph.Edge{canonEdge(u, v)})
+	rep, changed, err := m.repair([]graph.Edge{canonEdge(u, v)})
 	if err != nil {
 		// The overlay mutated but the coloring did not: serving it would
 		// violate the contract, so the maintainer poisons itself.
@@ -176,6 +214,7 @@ func (m *Maintainer) Insert(u, v int) (Report, error) {
 		return rep, err
 	}
 	m.maybeCompact()
+	m.commit(exp.Mutation{Op: exp.OpInsert, U: u, V: v}, rep, changed)
 	return rep, nil
 }
 
@@ -199,14 +238,34 @@ func (m *Maintainer) Delete(u, v int) (Report, error) {
 	// The deleted edge's color was an input to every incident lexicographic
 	// successor; those are the change-propagation seeds.
 	seeds := m.incidentSuccessors(e)
-	rep, err := m.repair(seeds)
+	rep, changed, err := m.repair(seeds)
 	if err != nil {
 		m.closed = true // see Insert: a failed repair poisons the maintainer
 		m.pools.close()
 		return rep, err
 	}
 	m.maybeCompact()
+	m.commit(exp.Mutation{Op: exp.OpDelete, U: u, V: v}, rep, changed)
 	return rep, nil
+}
+
+// commit fires the OnCommit hook for one landed mutation. Caller holds mu,
+// so events are serialized in commit order; Seq is the mutation count, which
+// only commits advance.
+func (m *Maintainer) commit(op exp.Mutation, rep Report, changed []ChangedColor) {
+	if m.cfg.OnCommit == nil {
+		return
+	}
+	m.cfg.OnCommit(CommitEvent{
+		Seq:         m.stats.Mutations,
+		Op:          op,
+		Report:      rep,
+		Changed:     changed,
+		Fingerprint: m.ov.Fingerprint(),
+		N:           m.ov.N(),
+		M:           m.ov.M(),
+		Delta:       m.ov.MaxDegree(),
+	})
 }
 
 var errClosed = errors.New("dynamic: maintainer closed")
@@ -245,21 +304,23 @@ func (m *Maintainer) incidentSuccessors(e graph.Edge) []graph.Edge {
 
 // repair runs the change-propagation discovery from the seed edges and, if
 // any canonical color actually changes, recolors the dirty set with a
-// distributed run on the induced repair subgraph. Caller holds mu.
-func (m *Maintainer) repair(seeds []graph.Edge) (Report, error) {
+// distributed run on the induced repair subgraph. Caller holds mu. changed
+// is the recolor delta in lexicographic edge order, materialized only when
+// an OnCommit hook will consume it.
+func (m *Maintainer) repair(seeds []graph.Edge) (Report, []ChangedColor, error) {
 	dirty, staged := m.discover(seeds)
 	if len(dirty) == 0 {
-		return Report{}, nil
+		return Report{}, nil, nil
 	}
 	sub, origVerts, forbidden, boundary := m.repairSubgraph(dirty)
 	pool := m.pools.get(sub)
 	res, err := pool.RunAlgo(repairBundle(sub, forbidden), m.opts()...)
 	if err != nil {
-		return Report{}, err
+		return Report{}, nil, err
 	}
 	subColors, err := graph.MergePortColors(sub, res.Outputs)
 	if err != nil {
-		return Report{}, err
+		return Report{}, nil, err
 	}
 	// The distributed run and the discovery pass compute the same greedy
 	// fixpoint by construction; a mismatch means the determinism contract
@@ -267,14 +328,21 @@ func (m *Maintainer) repair(seeds []graph.Edge) (Report, error) {
 	for id, se := range sub.Edges() {
 		e := canonEdge(origVerts[se.U], origVerts[se.V])
 		if subColors[id] != staged[e] {
-			return Report{}, fmt.Errorf("dynamic: repair of %v computed color %d, discovery staged %d", e, subColors[id], staged[e])
+			return Report{}, nil, fmt.Errorf("dynamic: repair of %v computed color %d, discovery staged %d", e, subColors[id], staged[e])
 		}
 	}
 	for e, c := range staged {
 		m.colors[e] = c
 	}
 	if err := m.checkSeam(dirty); err != nil {
-		return Report{}, err
+		return Report{}, nil, err
+	}
+	var changed []ChangedColor
+	if m.cfg.OnCommit != nil {
+		changed = make([]ChangedColor, len(dirty))
+		for i, e := range dirty { // dirty is already in lexicographic order
+			changed[i] = ChangedColor{U: e.U, V: e.V, Color: staged[e]}
+		}
 	}
 	rep := Report{Dirty: len(dirty), Boundary: boundary, Vertices: sub.N(), Stats: res.Stats}
 	m.stats.Repairs++
@@ -285,7 +353,7 @@ func (m *Maintainer) repair(seeds []graph.Edge) (Report, error) {
 	if rep.Dirty > m.stats.MaxDirty {
 		m.stats.MaxDirty = rep.Dirty
 	}
-	return rep, nil
+	return rep, changed, nil
 }
 
 // discover runs change propagation: re-evaluate the canonical fixpoint
@@ -551,6 +619,15 @@ func (m *Maintainer) Shape() (fp graph.Fingerprint, n, mm, delta int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.ov.Fingerprint(), m.ov.N(), m.ov.M(), m.ov.MaxDegree()
+}
+
+// StreamState returns the current fingerprint, dimensions, and committed-
+// mutation count as one atomic read — what a streaming subscriber's hello
+// snapshot needs: every commit after this read has Seq greater than seq.
+func (m *Maintainer) StreamState() (fp graph.Fingerprint, n, mm, delta int, seq int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ov.Fingerprint(), m.ov.N(), m.ov.M(), m.ov.MaxDegree(), m.stats.Mutations
 }
 
 // Stats snapshots the cumulative accounting.

@@ -66,6 +66,11 @@ type sessionTable struct {
 	cap     int
 	order   *list.List
 	entries map[string]*list.Element
+	// onClose, when set, fires after a session's maintainer closes (evicted,
+	// dropped, or table shutdown) — the hook that ends the session's
+	// subscriber feed. Called without st.mu held; it must not call back into
+	// the table.
+	onClose func(name string)
 }
 
 type session struct {
@@ -126,7 +131,7 @@ func (st *sessionTable) get(name string, base *exp.GraphSpec, build func(exp.Gra
 			ent := last.Value.(*session)
 			st.order.Remove(last)
 			delete(st.entries, ent.name)
-			defer closeSession(ent)
+			defer st.closeSession(ent)
 		}
 	} else {
 		st.order.MoveToFront(el)
@@ -145,7 +150,11 @@ func (st *sessionTable) get(name string, base *exp.GraphSpec, build func(exp.Gra
 	return s, s.err
 }
 
-func closeSession(s *session) {
+// closeSession closes a session that has already been unlinked from the
+// table. Must be called without st.mu held: the onClose hook takes the
+// hub's locks, and hub code never takes maintainer or table locks, so the
+// lock order stays acyclic.
+func (st *sessionTable) closeSession(s *session) {
 	// Force the once so a concurrent creator cannot resurrect a closed
 	// session's maintainer; losing the race just builds and closes.
 	s.once.Do(func() {
@@ -156,6 +165,20 @@ func closeSession(s *session) {
 	if mt := s.maintainer(); mt != nil {
 		mt.Close()
 	}
+	if st.onClose != nil {
+		st.onClose(s.name)
+	}
+}
+
+// lookup peeks at the named session without creating it or touching LRU
+// order — the subscribe path's existence check.
+func (st *sessionTable) lookup(name string) *session {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if el, ok := st.entries[name]; ok {
+		return el.Value.(*session)
+	}
+	return nil
 }
 
 // drop removes the named session if it still maps to s, and closes it.
@@ -168,7 +191,7 @@ func (st *sessionTable) drop(name string, s *session) {
 		delete(st.entries, name)
 	}
 	st.mu.Unlock()
-	closeSession(s)
+	st.closeSession(s)
 }
 
 // snapshot lists live sessions, most recently used first. The table lock
@@ -207,7 +230,7 @@ func (st *sessionTable) close() {
 	st.entries = map[string]*list.Element{}
 	st.mu.Unlock()
 	for _, s := range ents {
-		closeSession(s)
+		st.closeSession(s)
 	}
 }
 
@@ -236,7 +259,9 @@ func (s *Service) Mutate(req MutateRequest) (*MutateResponse, Outcome, error) {
 		ctr.errors.Add(1)
 		return nil, "", fmt.Errorf("service: mutate request needs a session name")
 	}
-	sess, err := s.sessions.get(req.Session, req.Base, s.buildMaintainer)
+	sess, err := s.sessions.get(req.Session, req.Base, func(spec exp.GraphSpec) (*dynamic.Maintainer, error) {
+		return s.buildMaintainer(req.Session, spec)
+	})
 	if err != nil {
 		ctr.errors.Add(1)
 		return nil, "", err
@@ -282,13 +307,21 @@ func (s *Service) Mutate(req MutateRequest) (*MutateResponse, Outcome, error) {
 // repair algorithm has a compiled form, and repairs are byte-identical across
 // engines, so sessions always run on the compiled engine regardless of the
 // service default — the choice is wall-clock only, and /statz records it per
-// session.
-func (s *Service) buildMaintainer(spec exp.GraphSpec) (*dynamic.Maintainer, error) {
+// session. The commit hook feeds the subscriber hub: it fires under the
+// maintainer's lock (so feed order is commit order), and the render closure
+// only runs when the session has live subscribers — unobserved sessions
+// never encode a frame.
+func (s *Service) buildMaintainer(name string, spec exp.GraphSpec) (*dynamic.Maintainer, error) {
 	g, err := spec.Build()
 	if err != nil {
 		return nil, err
 	}
-	return dynamic.New(g, dynamic.Config{Engine: dist.Compiled})
+	return dynamic.New(g, dynamic.Config{
+		Engine: dist.Compiled,
+		OnCommit: func(ev dynamic.CommitEvent) {
+			s.hub.publish(name, func() []byte { return deltaFrameBytes(name, ev) })
+		},
+	})
 }
 
 // readColors serves a pure coloring read through the result cache. The key

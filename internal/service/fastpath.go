@@ -58,15 +58,24 @@ const counterStripes = 8
 // counterStripe is one cache-line-padded slice of the request-plane
 // counters. Within a request, requests is always incremented before the
 // outcome counter, so per-stripe sums never show outcomes without their
-// requests.
+// requests. badRequests counts bodies that never parsed — deliberately
+// outside the requests/outcome arithmetic (a body that never parsed never
+// became a request), which keeps /statz able to see a garbage-spraying
+// client without perturbing the requests ≥ outcomes invariant. The
+// subscribes/delivered/dropped trio is the streaming-feed plane, striped by
+// session name.
 type counterStripe struct {
-	requests  atomic.Int64
-	hits      atomic.Int64
-	coalesced atomic.Int64
-	runs      atomic.Int64
-	errors    atomic.Int64
-	mutations atomic.Int64
-	_         [128 - 6*8]byte
+	requests    atomic.Int64
+	hits        atomic.Int64
+	coalesced   atomic.Int64
+	runs        atomic.Int64
+	errors      atomic.Int64
+	mutations   atomic.Int64
+	badRequests atomic.Int64
+	subscribes  atomic.Int64
+	delivered   atomic.Int64
+	dropped     atomic.Int64
+	_           [128 - 10*8]byte
 }
 
 // serviceCounters stripes the per-request counters across padded cache
@@ -83,6 +92,7 @@ func (c *serviceCounters) stripe(h uint64) *counterStripe {
 // counterTotals is the summed snapshot of the striped counters.
 type counterTotals struct {
 	requests, hits, coalesced, runs, errors, mutations int64
+	badRequests, subscribes, delivered, dropped        int64
 }
 
 func (c *serviceCounters) totals() counterTotals {
@@ -98,6 +108,10 @@ func (c *serviceCounters) totals() counterTotals {
 		t.runs += s.runs.Load()
 		t.errors += s.errors.Load()
 		t.mutations += s.mutations.Load()
+		t.badRequests += s.badRequests.Load()
+		t.subscribes += s.subscribes.Load()
+		t.delivered += s.delivered.Load()
+		t.dropped += s.dropped.Load()
 		t.requests += s.requests.Load()
 	}
 	return t

@@ -43,6 +43,9 @@ func readBody(r io.Reader, buf []byte) ([]byte, error) {
 //	                  MutateResponse (JSON). Mutations apply local repairs;
 //	                  pure coloring reads serve through the result cache
 //	                  keyed by the session's evolving fingerprint.
+//	GET  /v1/subscribe?session=NAME
+//	                — an SSE stream of the named session's recolor deltas
+//	                  (see subscribe.go for the event contract).
 //	GET  /healthz   — liveness probe.
 //	GET  /statz     — ServiceStats snapshot (JSON).
 func (s *Service) Handler() http.Handler {
@@ -54,6 +57,7 @@ func (s *Service) Handler() http.Handler {
 		*bp = body[:0]
 		if err != nil {
 			bodyPool.Put(bp)
+			s.counters.stripe(0).badRequests.Add(1)
 			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 			return
 		}
@@ -86,6 +90,7 @@ func (s *Service) Handler() http.Handler {
 		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 		dec.DisallowUnknownFields()
 		if err := dec.Decode(&req); err != nil {
+			s.counters.stripe(0).badRequests.Add(1)
 			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 			return
 		}
@@ -99,6 +104,7 @@ func (s *Service) Handler() http.Handler {
 		w.Header().Set("X-Colord-Fingerprint", resp.Fingerprint)
 		writeJSON(w, resp)
 	})
+	mux.HandleFunc("GET /v1/subscribe", s.serveSubscribe)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))

@@ -1,0 +1,274 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// The streaming broadcast hub.
+//
+// Every committed mutation of a dynamic session produces one delta frame
+// (prerendered SSE bytes — encoded exactly once, at commit). The hub fans
+// those frames out to the session's subscribers under a strict backpressure
+// contract:
+//
+//   - the mutating writer NEVER blocks on a subscriber. Publishing is O(1):
+//     one append to the feed's bounded broadcast log plus one wake;
+//   - each subscriber reads the shared log through its own cursor, so its
+//     effective buffer is bounded (the log's capacity). A subscriber whose
+//     cursor falls off the tail of the log is irrecoverably behind: it is
+//     dropped with an explicit overflow notification rather than slowing
+//     anyone down — the storage-shared equivalent of a bounded
+//     per-subscriber ring buffer;
+//   - frames are delivered in commit order with no gaps (until overflow or
+//     close): the publisher appends under the maintainer's commit lock, so
+//     log order IS commit order.
+//
+// Admission is controlled at subscribe time: a global subscriber cap bounds
+// the service's fan-out, and a per-session quota keeps one hot session from
+// monopolizing it. Feeds exist only while subscribed-to: with no
+// subscribers, publish is a map lookup that declines the render closure, so
+// unobserved sessions pay nothing for the feature's existence.
+type subHub struct {
+	maxSubs     int // global concurrent-subscriber cap
+	sessionSubs int // per-session quota
+	buffer      int // frames retained per feed (the per-subscriber lag bound)
+
+	mu     sync.Mutex
+	feeds  map[string]*feed
+	total  int
+	closed bool
+}
+
+// errHubClosed / errHubFull / errSessionFull are the subscribe admission
+// failures; the HTTP layer maps them to 503 and 429.
+var (
+	errHubClosed   = errors.New("service: shutting down")
+	errHubFull     = errors.New("service: subscriber limit reached")
+	errSessionFull = errors.New("service: session subscriber quota reached")
+)
+
+func newSubHub(maxSubs, sessionSubs, buffer int) *subHub {
+	return &subHub{
+		maxSubs:     maxSubs,
+		sessionSubs: sessionSubs,
+		buffer:      buffer,
+		feeds:       make(map[string]*feed),
+	}
+}
+
+// feed is one session's broadcast log: a bounded ring of prerendered frames
+// with a monotone append count. frames[(i-1)%len] holds the i-th appended
+// frame for i in (seq-len(frames), seq]; older frames are overwritten, which
+// is exactly the overflow bound.
+type feed struct {
+	name string
+
+	mu     sync.Mutex
+	frames [][]byte
+	seq    uint64 // frames ever appended; valid window is (seq-len, seq]
+	subs   int
+	closed bool
+	wake   chan struct{} // closed and replaced on every append/close
+}
+
+// feedSub is one subscriber's handle: a cursor into the feed's log. Methods
+// are owner-goroutine-only (the HTTP handler that subscribed).
+type feedSub struct {
+	hub *subHub
+	f   *feed
+	// cursor is the next append index to read (1-based).
+	cursor uint64
+	done   bool
+}
+
+// subStatus is the outcome of one feedSub.next call.
+type subStatus int
+
+const (
+	// subFrame: a frame was returned.
+	subFrame subStatus = iota
+	// subIdle: nothing pending (non-blocking calls only).
+	subIdle
+	// subOverflow: the subscriber lagged past the log's tail and is dropped;
+	// missed reports how many frames are irrecoverably gone.
+	subOverflow
+	// subClosed: the feed closed (session evicted, deleted, or service
+	// shutdown).
+	subClosed
+	// subCanceled: the cancel channel fired (client went away).
+	subCanceled
+)
+
+// subscribe registers a subscriber on the named session's feed, creating the
+// feed if this is its first subscriber. The cursor starts at "now": the
+// subscriber sees every frame published after registration, in order.
+func (h *subHub) subscribe(session string) (*feedSub, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return nil, errHubClosed
+	}
+	if h.total >= h.maxSubs {
+		return nil, fmt.Errorf("%w (%d)", errHubFull, h.maxSubs)
+	}
+	f := h.feeds[session]
+	if f == nil {
+		f = &feed{
+			name:   session,
+			frames: make([][]byte, h.buffer),
+			wake:   make(chan struct{}),
+		}
+		h.feeds[session] = f
+	}
+	f.mu.Lock()
+	if f.subs >= h.sessionSubs {
+		f.mu.Unlock()
+		if f.subs == 0 { // only possible when the quota is 0-ish; tidy up
+			delete(h.feeds, session)
+		}
+		return nil, fmt.Errorf("%w (%d)", errSessionFull, h.sessionSubs)
+	}
+	f.subs++
+	cursor := f.seq + 1
+	f.mu.Unlock()
+	h.total++
+	return &feedSub{hub: h, f: f, cursor: cursor}, nil
+}
+
+// publish appends one frame to the named session's feed, rendering it with
+// render only if someone is listening. It never blocks on subscribers: the
+// append is O(1) and the wake is a channel close. Returns whether a frame
+// was published.
+func (h *subHub) publish(session string, render func() []byte) bool {
+	h.mu.Lock()
+	f := h.feeds[session]
+	h.mu.Unlock()
+	if f == nil {
+		return false
+	}
+	frame := render()
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return false
+	}
+	f.seq++
+	f.frames[int((f.seq-1)%uint64(len(f.frames)))] = frame
+	close(f.wake)
+	f.wake = make(chan struct{})
+	f.mu.Unlock()
+	return true
+}
+
+// closeFeed closes the named session's feed: current subscribers observe
+// subClosed (pending frames are discarded — the session is gone, its deltas
+// moot), and the name becomes free for a future session's feed.
+func (h *subHub) closeFeed(session string) {
+	h.mu.Lock()
+	f := h.feeds[session]
+	delete(h.feeds, session)
+	h.mu.Unlock()
+	if f != nil {
+		f.close()
+	}
+}
+
+// close shuts the hub: all feeds close, and further subscribes fail.
+func (h *subHub) close() {
+	h.mu.Lock()
+	if h.closed {
+		h.mu.Unlock()
+		return
+	}
+	h.closed = true
+	feeds := make([]*feed, 0, len(h.feeds))
+	for _, f := range h.feeds {
+		feeds = append(feeds, f)
+	}
+	h.feeds = map[string]*feed{}
+	h.mu.Unlock()
+	for _, f := range feeds {
+		f.close()
+	}
+}
+
+// subscribers reports the current subscriber count (the /statz gauge).
+func (h *subHub) subscribers() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.total
+}
+
+func (f *feed) close() {
+	f.mu.Lock()
+	if !f.closed {
+		f.closed = true
+		close(f.wake)
+	}
+	f.mu.Unlock()
+}
+
+// next returns the subscriber's next frame. With block it waits for one (or
+// for cancel/close); without, it returns subIdle when the cursor is caught
+// up — the HTTP layer uses the non-blocking form to drain a burst before
+// flushing once. On subOverflow the subscriber is behind by more than the
+// feed's buffer; missed counts the frames that are gone for good, and the
+// subscriber must unsubscribe (no further frames will be returned in order).
+func (sub *feedSub) next(cancel <-chan struct{}, block bool) (frame []byte, st subStatus, missed uint64) {
+	f := sub.f
+	f.mu.Lock()
+	for {
+		if f.closed {
+			f.mu.Unlock()
+			return nil, subClosed, 0
+		}
+		if sub.cursor <= f.seq {
+			if lag := f.seq - sub.cursor; lag >= uint64(len(f.frames)) {
+				// frames (f.seq-len, f.seq] are retained; everything from
+				// cursor up to the window's start was overwritten.
+				missed = f.seq - uint64(len(f.frames)) - sub.cursor + 1
+				f.mu.Unlock()
+				return nil, subOverflow, missed
+			}
+			frame = f.frames[int((sub.cursor-1)%uint64(len(f.frames)))]
+			sub.cursor++
+			f.mu.Unlock()
+			return frame, subFrame, 0
+		}
+		if !block {
+			f.mu.Unlock()
+			return nil, subIdle, 0
+		}
+		w := f.wake
+		f.mu.Unlock()
+		select {
+		case <-w:
+		case <-cancel:
+			return nil, subCanceled, 0
+		}
+		f.mu.Lock()
+	}
+}
+
+// unsubscribe releases the subscriber's slot. The last subscriber out turns
+// off the light: an empty feed is removed from the hub so publish becomes a
+// declined map lookup again.
+func (sub *feedSub) unsubscribe() {
+	if sub.done {
+		return
+	}
+	sub.done = true
+	h, f := sub.hub, sub.f
+	h.mu.Lock()
+	h.total--
+	f.mu.Lock()
+	f.subs--
+	empty := f.subs == 0
+	f.mu.Unlock()
+	if empty && h.feeds[f.name] == f {
+		delete(h.feeds, f.name)
+	}
+	h.mu.Unlock()
+}

@@ -1,0 +1,239 @@
+package service
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestHubFanoutInOrder is the core broadcast contract at scale: 1000
+// subscribers on one feed, every published frame reaching every one of them,
+// in publish order, with no duplicates — and publish cost independent of the
+// subscriber count (one append, no per-subscriber work).
+func TestHubFanoutInOrder(t *testing.T) {
+	const subs, frames = 1000, 64
+	h := newSubHub(2*subs, 2*subs, frames+1)
+	handles := make([]*feedSub, subs)
+	for i := range handles {
+		sub, err := h.subscribe("s")
+		if err != nil {
+			t.Fatalf("subscribe %d: %v", i, err)
+		}
+		handles[i] = sub
+	}
+	if got := h.subscribers(); got != subs {
+		t.Fatalf("subscribers gauge %d, want %d", got, subs)
+	}
+	for i := 0; i < frames; i++ {
+		frame := []byte(fmt.Sprintf("frame-%d", i))
+		if !h.publish("s", func() []byte { return frame }) {
+			t.Fatalf("publish %d declined with %d subscribers", i, subs)
+		}
+	}
+	for si, sub := range handles {
+		for i := 0; i < frames; i++ {
+			frame, st, _ := sub.next(nil, false)
+			if st != subFrame {
+				t.Fatalf("sub %d frame %d: status %d, want subFrame", si, i, st)
+			}
+			if want := fmt.Sprintf("frame-%d", i); string(frame) != want {
+				t.Fatalf("sub %d frame %d: got %q, want %q", si, i, frame, want)
+			}
+		}
+		if _, st, _ := sub.next(nil, false); st != subIdle {
+			t.Fatalf("sub %d: status %d after drain, want subIdle", si, st)
+		}
+		sub.unsubscribe()
+	}
+	if got := h.subscribers(); got != 0 {
+		t.Fatalf("subscribers gauge %d after unsubscribe, want 0", got)
+	}
+	// The last subscriber out removed the feed: publish declines again and
+	// must not run the render closure.
+	if h.publish("s", func() []byte { t.Error("render called with no feed"); return nil }) {
+		t.Fatal("publish accepted with no subscribers")
+	}
+}
+
+// TestHubConcurrentFanout runs blocking subscribers against a live publisher
+// under -race: every subscriber sees the full frame sequence in order, then
+// (once everyone has drained — close discards pending frames by design) the
+// close notification.
+func TestHubConcurrentFanout(t *testing.T) {
+	const subs, frames = 8, 500
+	h := newSubHub(64, 64, frames+1)
+	var wg, drained sync.WaitGroup
+	errCh := make(chan error, subs)
+	for i := 0; i < subs; i++ {
+		sub, err := h.subscribe("s")
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		drained.Add(1)
+		go func(i int, sub *feedSub) {
+			defer wg.Done()
+			defer sub.unsubscribe()
+			for n := 0; n < frames; n++ {
+				frame, st, _ := sub.next(nil, true)
+				if st != subFrame {
+					drained.Done()
+					errCh <- fmt.Errorf("sub %d: status %d at frame %d, want subFrame", i, st, n)
+					return
+				}
+				if want := fmt.Sprintf("f%d", n); string(frame) != want {
+					drained.Done()
+					errCh <- fmt.Errorf("sub %d: frame %d is %q, want %q", i, n, frame, want)
+					return
+				}
+			}
+			drained.Done()
+			if _, st, _ := sub.next(nil, true); st != subClosed {
+				errCh <- fmt.Errorf("sub %d: status %d after drain, want subClosed", i, st)
+			}
+		}(i, sub)
+	}
+	for i := 0; i < frames; i++ {
+		frame := []byte(fmt.Sprintf("f%d", i))
+		h.publish("s", func() []byte { return frame })
+	}
+	// close discards undelivered frames (a closed session's deltas are
+	// moot), so only close once every subscriber has read the full run.
+	drained.Wait()
+	h.closeFeed("s")
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// TestHubOverflow pins the backpressure contract: a subscriber whose cursor
+// falls off the feed's bounded log is dropped with an exact missed count,
+// and the publisher never waited for it.
+func TestHubOverflow(t *testing.T) {
+	const buffer = 4
+	h := newSubHub(8, 8, buffer)
+	sub, err := h.subscribe("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		h.publish("s", func() []byte { return []byte("x") })
+	}
+	_, st, missed := sub.next(nil, false)
+	if st != subOverflow {
+		t.Fatalf("status %d, want subOverflow", st)
+	}
+	// 10 published, the newest 4 retained: frames 1..6 are gone for good.
+	if missed != 6 {
+		t.Fatalf("missed %d, want 6", missed)
+	}
+	sub.unsubscribe()
+
+	// Exactly at the bound: a subscriber lagging by the full buffer still
+	// recovers every frame.
+	sub, err = h.subscribe("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < buffer; i++ {
+		h.publish("s", func() []byte { return []byte{byte('0' + i)} })
+	}
+	for i := 0; i < buffer; i++ {
+		frame, st, _ := sub.next(nil, false)
+		if st != subFrame || string(frame) != string(byte('0'+i)) {
+			t.Fatalf("frame %d: status %d frame %q", i, st, frame)
+		}
+	}
+	sub.unsubscribe()
+}
+
+// TestHubAdmission covers the subscribe-time limits: per-session quota, the
+// global cap, and the closed hub.
+func TestHubAdmission(t *testing.T) {
+	h := newSubHub(2, 1, 4)
+	a, err := h.subscribe("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.subscribe("a"); !errors.Is(err, errSessionFull) {
+		t.Fatalf("second same-session subscribe: %v, want errSessionFull", err)
+	}
+	b, err := h.subscribe("b")
+	if err != nil {
+		t.Fatalf("other-session subscribe under global cap: %v", err)
+	}
+	if _, err := h.subscribe("c"); !errors.Is(err, errHubFull) {
+		t.Fatalf("subscribe over global cap: %v, want errHubFull", err)
+	}
+	a.unsubscribe()
+	a.unsubscribe() // idempotent: must not double-release the slot
+	if got := h.subscribers(); got != 1 {
+		t.Fatalf("subscribers gauge %d, want 1", got)
+	}
+	h.close()
+	if _, err := h.subscribe("a"); !errors.Is(err, errHubClosed) {
+		t.Fatalf("subscribe after close: %v, want errHubClosed", err)
+	}
+	// b's feed closed with the hub: the blocked read observes it.
+	if _, st, _ := b.next(nil, true); st != subClosed {
+		t.Fatalf("status %d after hub close, want subClosed", st)
+	}
+	b.unsubscribe()
+}
+
+// TestHubCloseFeedWakesBlocked pins the shutdown path a live stream takes
+// when its session is evicted: a subscriber parked in a blocking next must
+// wake with subClosed, not hang.
+func TestHubCloseFeedWakesBlocked(t *testing.T) {
+	h := newSubHub(4, 4, 4)
+	sub, err := h.subscribe("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan subStatus, 1)
+	go func() {
+		_, st, _ := sub.next(nil, true)
+		done <- st
+	}()
+	h.closeFeed("s")
+	if st := <-done; st != subClosed {
+		t.Fatalf("status %d, want subClosed", st)
+	}
+	// The name is free again: a new feed under the same session works.
+	sub2, err := h.subscribe("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.publish("s", func() []byte { return []byte("y") }) {
+		t.Fatal("publish declined on recreated feed")
+	}
+	if frame, st, _ := sub2.next(nil, false); st != subFrame || string(frame) != "y" {
+		t.Fatalf("recreated feed: status %d frame %q", st, frame)
+	}
+	sub2.unsubscribe()
+	sub.unsubscribe()
+}
+
+// TestHubCancelWakesBlocked: a client disconnect (cancel channel) unblocks a
+// parked subscriber with subCanceled.
+func TestHubCancelWakesBlocked(t *testing.T) {
+	h := newSubHub(4, 4, 4)
+	sub, err := h.subscribe("s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.unsubscribe()
+	cancel := make(chan struct{})
+	done := make(chan subStatus, 1)
+	go func() {
+		_, st, _ := sub.next(cancel, true)
+		done <- st
+	}()
+	close(cancel)
+	if st := <-done; st != subCanceled {
+		t.Fatalf("status %d, want subCanceled", st)
+	}
+}

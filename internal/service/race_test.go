@@ -2,6 +2,7 @@ package service
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
@@ -267,10 +268,11 @@ func TestServiceMatchesDirect(t *testing.T) {
 }
 
 // TestStatzUnderMixedLoad hammers /statz while color requests (typed and
-// raw) and session mutations run concurrently. Every snapshot must be
-// coherent: counters monotone across successive snapshots, outcomes never
-// exceeding requests, and cache totals non-negative. Run under -race this
-// also pins the striped-counter and sharded-snapshot synchronization.
+// raw), session mutations, SSE subscriptions, and garbage bodies run
+// concurrently. Every snapshot must be coherent: counters monotone across
+// successive snapshots, outcomes never exceeding requests, and cache totals
+// non-negative. Run under -race this also pins the striped-counter,
+// sharded-snapshot, and broadcast-hub synchronization.
 func TestStatzUnderMixedLoad(t *testing.T) {
 	s := New(testConfig())
 	defer s.Close()
@@ -279,6 +281,69 @@ func TestStatzUnderMixedLoad(t *testing.T) {
 
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
+
+	// Subscribers churn against the session the first mutator client owns:
+	// open a stream, read a handful of events, drop the connection, repeat.
+	// The request context ends the stream when the test stops, so a blocked
+	// read never outlives the load.
+	ctx, cancelSubs := context.WithCancel(context.Background())
+	defer cancelSubs()
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req, _ := http.NewRequestWithContext(ctx, "GET", srv.URL+"/v1/subscribe?session=statz-a", nil)
+				resp, err := http.DefaultClient.Do(req)
+				if err != nil {
+					return // context canceled at stop
+				}
+				if resp.StatusCode == http.StatusOK {
+					// Read a few frames, then vanish mid-stream: the
+					// disconnect-reap path under load.
+					buf := make([]byte, 512)
+					for reads := 0; reads < 4; reads++ {
+						if _, err := resp.Body.Read(buf); err != nil {
+							break
+						}
+					}
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+	// One client sprays unparseable bodies at both POST endpoints: the
+	// badRequests counter must move without ever touching requests/outcomes.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			path := "/v1/color"
+			if i%2 == 0 {
+				path = "/v1/mutate"
+			}
+			resp, err := http.Post(srv.URL+path, "application/json", bytes.NewReader([]byte("{garbage")))
+			if err != nil {
+				t.Errorf("spray: %v", err)
+				return
+			}
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Errorf("spray: status %d, want 400", resp.StatusCode)
+				return
+			}
+		}
+	}()
 	for cl := 0; cl < 4; cl++ {
 		wg.Add(1)
 		go func(cl int) {
@@ -344,6 +409,13 @@ func TestStatzUnderMixedLoad(t *testing.T) {
 			st.Runs < prev.Runs || st.Errors < prev.Errors || st.Mutations < prev.Mutations {
 			t.Fatalf("counters went backwards: %+v then %+v", prev, st)
 		}
+		if st.BadRequests < prev.BadRequests || st.Subscribes < prev.Subscribes ||
+			st.Delivered < prev.Delivered || st.Dropped < prev.Dropped {
+			t.Fatalf("stream counters went backwards: %+v then %+v", prev, st)
+		}
+		if st.Subscribers < 0 {
+			t.Fatalf("negative subscriber gauge: %+v", st)
+		}
 		if st.Hits+st.Coalesced+st.Runs > st.Requests {
 			t.Fatalf("outcomes exceed requests: %+v", st)
 		}
@@ -353,8 +425,16 @@ func TestStatzUnderMixedLoad(t *testing.T) {
 		prev = st
 	}
 	close(stop)
+	cancelSubs()
 	wg.Wait()
 	if prev.Requests == 0 || prev.Mutations == 0 {
 		t.Fatalf("workload did not register: %+v", prev)
+	}
+	final := s.Stats()
+	if final.BadRequests == 0 {
+		t.Fatalf("garbage sprayer did not register: %+v", final)
+	}
+	if final.Subscribes == 0 {
+		t.Fatalf("subscriber churn did not register: %+v", final)
 	}
 }

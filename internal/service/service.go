@@ -66,6 +66,15 @@ type Config struct {
 	// Sessions bounds the live dynamic graph sessions (default 32); the
 	// coldest session is evicted — state and all — when the table is full.
 	Sessions int
+	// MaxSubscribers caps concurrent streaming subscribers service-wide
+	// (default 4096): the global admission bound on fan-out.
+	MaxSubscribers int
+	// SessionSubscribers caps subscribers per session (default 1024), so one
+	// hot session cannot monopolize the global cap.
+	SessionSubscribers int
+	// FeedBuffer is each feed's delta backlog in frames (default 256): how
+	// far a subscriber may lag before it is dropped with an overflow event.
+	FeedBuffer int
 }
 
 func (c Config) withDefaults() Config {
@@ -89,6 +98,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Sessions <= 0 {
 		c.Sessions = 32
+	}
+	if c.MaxSubscribers <= 0 {
+		c.MaxSubscribers = 4096
+	}
+	if c.SessionSubscribers <= 0 {
+		c.SessionSubscribers = 1024
+	}
+	if c.FeedBuffer <= 0 {
+		c.FeedBuffer = 256
 	}
 	return c
 }
@@ -126,19 +144,32 @@ type flightResult struct {
 type ServiceStats struct {
 	// Engine is the service's default dist scheduler (requests may override
 	// per-call; dynamic sessions always repair on the compiled engine).
-	Engine    string            `json:"engine"`
-	Requests  int64             `json:"requests"`
-	Hits      int64             `json:"hits"`
-	Coalesced int64             `json:"coalesced"`
-	Runs      int64             `json:"runs"`
-	Errors    int64             `json:"errors"`
-	Batches   int64             `json:"batches"`
-	MaxBatch  int64             `json:"maxBatch"`
-	Mutations int64             `json:"mutations"`
-	Cache     CacheStats        `json:"cache"`
-	Fast      CacheStats        `json:"fastCache"`
-	Pools     []PoolSnapshot    `json:"pools"`
-	Sessions  []SessionSnapshot `json:"sessions"`
+	Engine    string `json:"engine"`
+	Requests  int64  `json:"requests"`
+	Hits      int64  `json:"hits"`
+	Coalesced int64  `json:"coalesced"`
+	Runs      int64  `json:"runs"`
+	Errors    int64  `json:"errors"`
+	// BadRequests counts bodies (and subscribe queries) that failed to
+	// parse: 400s that never became requests, so they are deliberately
+	// outside the Requests/outcome accounting — this is the counter that
+	// makes a client spraying garbage visible.
+	BadRequests int64 `json:"badRequests"`
+	Batches     int64 `json:"batches"`
+	MaxBatch    int64 `json:"maxBatch"`
+	Mutations   int64 `json:"mutations"`
+	// Subscribers is the current streaming-subscriber gauge; Subscribes,
+	// Delivered, and Dropped are the monotone feed counters (accepted
+	// subscriptions, delta frames written, subscribers dropped by
+	// overflow).
+	Subscribers int64             `json:"subscribers"`
+	Subscribes  int64             `json:"subscribes"`
+	Delivered   int64             `json:"delivered"`
+	Dropped     int64             `json:"dropped"`
+	Cache       CacheStats        `json:"cache"`
+	Fast        CacheStats        `json:"fastCache"`
+	Pools       []PoolSnapshot    `json:"pools"`
+	Sessions    []SessionSnapshot `json:"sessions"`
 }
 
 // Service is the coloring service. Create with New, serve with Handle or
@@ -149,6 +180,7 @@ type Service struct {
 	fast     *fastCache
 	graphs   *graphCache
 	sessions *sessionTable
+	hub      *subHub
 	sem      chan struct{}
 	submit   chan *flight
 
@@ -173,11 +205,15 @@ func New(cfg Config) *Service {
 		fast:     newFastCache(cfg.FastEntries),
 		graphs:   newGraphCache(cfg.GraphEntries, cfg.Workers),
 		sessions: newSessionTable(cfg.Sessions),
+		hub:      newSubHub(cfg.MaxSubscribers, cfg.SessionSubscribers, cfg.FeedBuffer),
 		sem:      make(chan struct{}, cfg.Workers),
 		submit:   make(chan *flight),
 		inflight: make(map[string]*flight),
 		stop:     make(chan struct{}),
 	}
+	// A session's end — eviction, drop, or shutdown — ends its feed:
+	// subscribers get an explicit close event, never a silent stall.
+	s.sessions.onClose = s.hub.closeFeed
 	s.wg.Add(1)
 	go s.batchLoop()
 	return s
@@ -197,14 +233,20 @@ func (s *Service) Close() {
 	s.wg.Wait()
 	s.graphs.close()
 	s.sessions.close()
+	// After the sessions: their closes already ended their feeds via the
+	// onClose hook; this sweeps any remaining feed and refuses new
+	// subscribers for good.
+	s.hub.close()
 }
 
 // ErrClosed is returned by Handle after Close.
 var ErrClosed = errors.New("service: closed")
 
 // badRequestError marks a request whose JSON failed to decode; the HTTP
-// layer maps it to 400 without touching the service counters (a body that
-// never parsed never became a request).
+// layer maps it to 400. A body that never parsed never became a request, so
+// these count in badRequests only — never in requests or errors — keeping
+// the requests ≥ outcomes invariant intact while still surfacing a client
+// spraying garbage at the fast lane.
 type badRequestError struct{ err error }
 
 func (e *badRequestError) Error() string { return "bad request body: " + e.err.Error() }
@@ -244,6 +286,7 @@ func (s *Service) HandleRaw(body []byte) (resp []byte, key string, outcome Outco
 	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		s.counters.stripe(h).badRequests.Add(1)
 		return nil, "", "", &badRequestError{err}
 	}
 	c, v, outcome, err := s.handleCore(req)
@@ -413,18 +456,23 @@ func (s *Service) fail(f *flight, err error) {
 func (s *Service) Stats() ServiceStats {
 	t := s.counters.totals()
 	return ServiceStats{
-		Engine:    s.cfg.Engine.String(),
-		Requests:  t.requests,
-		Hits:      t.hits,
-		Coalesced: t.coalesced,
-		Runs:      t.runs,
-		Errors:    t.errors,
-		Batches:   s.batches.Load(),
-		MaxBatch:  s.maxBatch.Load(),
-		Mutations: t.mutations,
-		Cache:     s.cache.snapshot(),
-		Fast:      s.fast.snapshot(),
-		Pools:     s.graphs.snapshot(),
-		Sessions:  s.sessions.snapshot(),
+		Engine:      s.cfg.Engine.String(),
+		Requests:    t.requests,
+		Hits:        t.hits,
+		Coalesced:   t.coalesced,
+		Runs:        t.runs,
+		Errors:      t.errors,
+		BadRequests: t.badRequests,
+		Batches:     s.batches.Load(),
+		MaxBatch:    s.maxBatch.Load(),
+		Mutations:   t.mutations,
+		Subscribers: int64(s.hub.subscribers()),
+		Subscribes:  t.subscribes,
+		Delivered:   t.delivered,
+		Dropped:     t.dropped,
+		Cache:       s.cache.snapshot(),
+		Fast:        s.fast.snapshot(),
+		Pools:       s.graphs.snapshot(),
+		Sessions:    s.sessions.snapshot(),
 	}
 }

@@ -2,13 +2,14 @@
 # bench_check.sh — service benchmark regression gate.
 #
 # Reruns the service bench suite (scripts/bench_service.sh: coloring mixes +
-# churn + the hit-path microbenchmark) against a throwaway output and
-# compares it to the committed BENCH_service.json with cmd/benchcmp: the
-# gate fails when p50 latency, req/s throughput, B/op, or allocs/op regress
-# by more than FACTOR (default 3×, loose enough for shared-runner noise;
-# near-zero allocation baselines are floored — see cmd/benchcmp). CI runs it
-# warn-only (BENCH_WARN_ONLY=1) so a noisy runner cannot block a merge while
-# the regression still lands in the log.
+# churn + the subscribe fan-out + the hit-path microbenchmark) against a
+# throwaway output and compares it to the committed BENCH_service.json with
+# cmd/benchcmp: the gate fails when p50 latency, subscribe delta-p50 fan-out
+# latency, req/s throughput, B/op, or allocs/op regress by more than FACTOR
+# (default 3×, loose enough for shared-runner noise; near-zero baselines are
+# floored — see cmd/benchcmp). CI runs it warn-only (BENCH_WARN_ONLY=1) so a
+# noisy runner cannot block a merge while the regression still lands in the
+# log.
 #
 # Usage:
 #   scripts/bench_check.sh                      # full-length run, hard fail

@@ -2,21 +2,34 @@
 # bench_service.sh — drive the colord service with cmd/loadgen and emit
 # BENCH_service.json through the cmd/benchjson pipeline.
 #
-# Four workloads are measured. Three drive an in-process colord over the
-# full HTTP round trip on loopback (with loadgen's raw persistent-connection
-# driver): coloring mixes "small" (few distinct keys, cache-dominated steady
-# state) and "medium" (many keys, execution-heavy), plus the "churn"
-# workload — per-client dynamic sessions streaming mutation batches through
-# /v1/mutate with incremental repair. The fourth is the in-process
+# Five workloads are measured. Four drive an in-process colord over the full
+# HTTP round trip on loopback: coloring mixes "small" (few distinct keys,
+# cache-dominated steady state) and "medium" (many keys, execution-heavy) with
+# loadgen's raw persistent-connection driver; the "churn" workload —
+# per-client dynamic sessions streaming mutation batches through /v1/mutate
+# with incremental repair; and the "subscribe" workload — one rate-paced
+# writer mutating a session while $SUBS SSE subscribers drink its delta feed,
+# measuring commit-to-subscriber latency. The fifth is the in-process
 # BenchmarkHitPath microbenchmark: the serving fast path alone (hash, striped
 # lookup, counters), with its allocation figures. The JSON tracks throughput
-# (req/s, and mut/s for churn), latency (ns/op, p50-ns, p99-ns, max-ns),
-# allocation cost (B/op, allocs/op), and cache behavior (hit-rate,
-# coalesce-rate) per workload.
+# (req/s; mut/s for churn and subscribe), latency (ns/op, p50-ns, p99-ns,
+# max-ns; delta-p50-ns/delta-p99-ns for subscribe), allocation cost (B/op,
+# allocs/op), and cache behavior (hit-rate, coalesce-rate) per workload.
+#
+# Isolation: loadgen is built ONCE up front (a `go run` per workload puts a
+# compile — and its CPU and page-cache churn — inside the box the measurement
+# runs in, which on small machines bleeds into the first seconds of the
+# window), and a settle pause separates consecutive workloads so one
+# workload's tail (GC of a few hundred MB of latency samples, TIME_WAIT
+# sockets) doesn't tax the next one's window. The churn row in particular is
+# measured in a clean gap: it is the most allocation-heavy workload, and
+# running it hot on the heels of the medium mix cost it ~15% throughput on a
+# 1-CPU box.
 #
 # Usage:
 #   scripts/bench_service.sh                  # full run, writes BENCH_service.json
 #   DURATION=300ms BENCHTIME=1x scripts/bench_service.sh  # quick smoke (CI)
+#   SUBS=50 RATE=0 scripts/bench_service.sh   # smaller subscriber fleet
 #   OUT=/dev/stdout scripts/bench_service.sh  # print the JSON instead
 #   ENGINE=compiled scripts/bench_service.sh  # pin the coloring requests'
 #                                             # engine (CI smokes compiled)
@@ -27,13 +40,24 @@ DURATION="${DURATION:-5s}"
 BENCHTIME="${BENCHTIME:-2s}"
 CLIENTS="${CLIENTS:-8}"
 ENGINE="${ENGINE:-}"
+SUBS="${SUBS:-1000}"
+RATE="${RATE:-100}"
+SETTLE="${SETTLE:-1}"
 OUT="${OUT:-BENCH_service.json}"
 TXT="$(mktemp)"
-trap 'rm -f "$TXT"' EXIT
+BINDIR="$(mktemp -d)"
+trap 'rm -rf "$TXT" "$BINDIR"' EXIT
 
-go run ./cmd/loadgen -bench -duration "$DURATION" -clients "$CLIENTS" -mix small -seeds 8 ${ENGINE:+-engine "$ENGINE"} | tee "$TXT"
-go run ./cmd/loadgen -bench -duration "$DURATION" -clients "$CLIENTS" -mix medium -seeds 32 ${ENGINE:+-engine "$ENGINE"} | tee -a "$TXT"
-go run ./cmd/loadgen -bench -mode churn -duration "$DURATION" -clients "$CLIENTS" -mix small -batch 16 | tee -a "$TXT"
+go build -o "$BINDIR/loadgen" ./cmd/loadgen
+
+"$BINDIR/loadgen" -bench -duration "$DURATION" -clients "$CLIENTS" -mix small -seeds 8 ${ENGINE:+-engine "$ENGINE"} | tee "$TXT"
+sleep "$SETTLE"
+"$BINDIR/loadgen" -bench -duration "$DURATION" -clients "$CLIENTS" -mix medium -seeds 32 ${ENGINE:+-engine "$ENGINE"} | tee -a "$TXT"
+sleep "$SETTLE"
+"$BINDIR/loadgen" -bench -mode churn -duration "$DURATION" -clients "$CLIENTS" -mix small -batch 16 | tee -a "$TXT"
+sleep "$SETTLE"
+"$BINDIR/loadgen" -bench -mode subscribe -duration "$DURATION" -subs "$SUBS" -rate "$RATE" -batch 4 -mix small | tee -a "$TXT"
+sleep "$SETTLE"
 # -cpu 1 keeps the benchmark name free of the GOMAXPROCS suffix, so the
 # baseline key is stable across differently-sized machines.
 go test -run '^$' -bench '^BenchmarkHitPath$' -cpu 1 -benchtime "$BENCHTIME" -benchmem ./internal/service | tee -a "$TXT"
