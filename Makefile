@@ -8,7 +8,8 @@ GO ?= go
 FUZZTIME ?= 10s
 
 .PHONY: build test race vet fmt cover bench bench-smoke bench-service bench-service-smoke bench-check \
-	bench-runtime-check fuzz-smoke fuzz-builder fuzz-wire-roundtrip fuzz-wire-reader fuzz-dist-compiled
+	bench-runtime-check bench-cluster-smoke fuzz-smoke fuzz-builder fuzz-wire-roundtrip fuzz-wire-reader \
+	fuzz-dist-compiled fuzz-wal
 
 build:
 	$(GO) build ./...
@@ -75,6 +76,14 @@ fuzz-wire-reader:
 	$(GO) test -fuzz FuzzReader -fuzztime $(FUZZTIME) -run '^$$' ./internal/wire/
 fuzz-dist-compiled:
 	$(GO) test -fuzz FuzzCompiledAgree -fuzztime $(FUZZTIME) -run '^$$' ./internal/dist/
+fuzz-wal:
+	$(GO) test -fuzz FuzzWALReplay -fuzztime $(FUZZTIME) -run '^$$' ./internal/wal/
 
 # Short fuzz pass over all targets.
-fuzz-smoke: fuzz-builder fuzz-wire-roundtrip fuzz-wire-reader fuzz-dist-compiled
+fuzz-smoke: fuzz-builder fuzz-wire-roundtrip fuzz-wire-reader fuzz-dist-compiled fuzz-wal
+
+# Real-binary 3-node cluster smoke: colord x3 + colorgate over loopback,
+# byte-stability, full-cluster SIGKILL recovery, and a loadgen pass through
+# the gateway. CI runs this.
+bench-cluster-smoke:
+	DURATION=1s scripts/bench_cluster.sh

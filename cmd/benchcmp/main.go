@@ -13,7 +13,8 @@
 //     floor — the baseline is clamped up (a few allocations; 1ms of fan-out
 //     latency) before the ratio is taken — so a zero- or near-zero baseline
 //     doesn't turn one stray allocation or a fast machine's sub-millisecond
-//     fan-out into an infinite ratio;
+//     fan-out into an infinite ratio. recovery-ns (WAL replay wall clock of
+//     the crash-recovery benchmark) gates like a latency, with a 1ms floor;
 //   - runtime (baseline BENCH_runtime.json): gates ns/op the same way p50-ns
 //     gates latency. The deterministic LOCAL-model metrics (rounds, msgBytes,
 //     colors, ...) must match exactly — a changed round count is a semantics
@@ -80,6 +81,7 @@ func run(args []string) error {
 		gates = []gate{
 			{metric: "p50-ns", upIsBad: true},
 			{metric: "delta-p50-ns", upIsBad: true, floor: 1e6},
+			{metric: "recovery-ns", upIsBad: true, floor: 1e6},
 			{metric: "req/s"},
 			{metric: "B/op", upIsBad: true, floor: 512},
 			{metric: "allocs/op", upIsBad: true, floor: 4},

@@ -7,6 +7,15 @@
 //
 //	colord -addr :7080 -workers 8 -engine compiled
 //
+// Durability: -wal-dir makes dynamic sessions durable — every committed
+// mutation appends to a per-session write-ahead log, and sessions replay
+// from their logs on restart (-wal-sync additionally fsyncs per commit).
+//
+// Clustering: -peers lists every node's base URL and -self names this one;
+// the node then fills result-cache misses from each key's rendezvous owner
+// before computing (see internal/cluster). Front the peer set with colorgate
+// for routing.
+//
 // API:
 //
 //	POST /v1/color   {"kind":"edge","alg":"be","graph":{"family":"gnm","n":256,"m":1024,"seed":1},"seed":7}
@@ -25,14 +34,17 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	_ "net/http/pprof" // registered on DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/dist"
 	"repro/internal/service"
 )
@@ -49,17 +61,22 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("colord", flag.ContinueOnError)
 	var (
-		addr    = fs.String("addr", ":7080", "listen address")
-		workers = fs.Int("workers", 0, "concurrent algorithm executions (0 = GOMAXPROCS)")
-		engine  = fs.String("engine", "compiled", "default dist scheduler: goroutines|lockstep|sharded|compiled (requests may override)")
-		cache   = fs.Int("cache", 4096, "result cache capacity (entries)")
-		graphs  = fs.Int("graphs", 64, "built-graph cache capacity (entries)")
-		window  = fs.Duration("batch-window", 200*time.Microsecond, "micro-batch collection window")
-		maxB    = fs.Int("batch-max", 64, "dispatch a batch early at this many distinct jobs")
-		subsMax = fs.Int("max-subscribers", 4096, "global cap on concurrent SSE subscribers")
-		subsPer = fs.Int("session-subscribers", 1024, "per-session SSE subscriber quota")
-		feedBuf = fs.Int("feed-buffer", 256, "delta frames buffered per session feed (the subscriber lag bound)")
-		pprofA  = fs.String("pprof", "", "serve net/http/pprof on this side address (empty = off), e.g. localhost:6060")
+		addr     = fs.String("addr", ":7080", "listen address (use :0 for an ephemeral port with -addr-file)")
+		addrFile = fs.String("addr-file", "", "write the bound address to this file once listening (harness handshake)")
+		workers  = fs.Int("workers", 0, "concurrent algorithm executions (0 = GOMAXPROCS)")
+		engine   = fs.String("engine", "compiled", "default dist scheduler: goroutines|lockstep|sharded|compiled (requests may override)")
+		cache    = fs.Int("cache", 4096, "result cache capacity (entries)")
+		graphs   = fs.Int("graphs", 64, "built-graph cache capacity (entries)")
+		window   = fs.Duration("batch-window", 200*time.Microsecond, "micro-batch collection window")
+		maxB     = fs.Int("batch-max", 64, "dispatch a batch early at this many distinct jobs")
+		subsMax  = fs.Int("max-subscribers", 4096, "global cap on concurrent SSE subscribers")
+		subsPer  = fs.Int("session-subscribers", 1024, "per-session SSE subscriber quota")
+		feedBuf  = fs.Int("feed-buffer", 256, "delta frames buffered per session feed (the subscriber lag bound)")
+		walDir   = fs.String("wal-dir", "", "write-ahead-log directory for durable dynamic sessions (empty = memory-only)")
+		walSync  = fs.Bool("wal-sync", false, "fsync the session WAL on every commit")
+		peers    = fs.String("peers", "", "comma-separated base URLs of every cluster node (enables peer cache fill)")
+		self     = fs.String("self", "", "this node's base URL as it appears in -peers")
+		pprofA   = fs.String("pprof", "", "serve net/http/pprof on this side address (empty = off), e.g. localhost:6060")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,7 +89,12 @@ func run(args []string) error {
 	if w <= 0 {
 		w = runtimeWorkers()
 	}
-	s := service.New(service.Config{
+	if *walDir != "" {
+		if err := os.MkdirAll(*walDir, 0o755); err != nil {
+			return fmt.Errorf("wal dir: %w", err)
+		}
+	}
+	cfg := service.Config{
 		Workers:            w,
 		Engine:             eng,
 		CacheEntries:       *cache,
@@ -82,7 +104,17 @@ func run(args []string) error {
 		MaxSubscribers:     *subsMax,
 		SessionSubscribers: *subsPer,
 		FeedBuffer:         *feedBuf,
-	})
+		WALDir:             *walDir,
+		WALSync:            *walSync,
+	}
+	if *peers != "" {
+		if *self == "" {
+			return fmt.Errorf("-peers requires -self (this node's URL within the peer set)")
+		}
+		filler := cluster.NewFiller(strings.Split(*peers, ","), *self, nil, 0)
+		cfg.RemoteFill = filler.Fill
+	}
+	s := service.New(cfg)
 	defer s.Close()
 
 	if *pprofA != "" {
@@ -97,11 +129,25 @@ func run(args []string) error {
 		}()
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: s.Handler()}
+	// Explicit Listen (rather than ListenAndServe) so :0 resolves to a real
+	// port before -addr-file is written — the crash-test and bench harnesses
+	// wait on that file instead of racing a fixed port.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	bound := ln.Addr().String()
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			ln.Close()
+			return fmt.Errorf("addr file: %w", err)
+		}
+	}
+	srv := &http.Server{Handler: s.Handler()}
 	errCh := make(chan error, 1)
-	go func() { errCh <- srv.ListenAndServe() }()
-	log.Printf("colord: serving on %s (workers=%d engine=%v cache=%d graphs=%d window=%v)",
-		*addr, w, eng, *cache, *graphs, *window)
+	go func() { errCh <- srv.Serve(ln) }()
+	log.Printf("colord: serving on %s (workers=%d engine=%v cache=%d graphs=%d window=%v wal=%q)",
+		bound, w, eng, *cache, *graphs, *window, *walDir)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

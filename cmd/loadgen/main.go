@@ -55,6 +55,9 @@ import (
 	"sync"
 	"time"
 
+	"sync/atomic"
+
+	"repro/internal/cluster"
 	"repro/internal/dist"
 	"repro/internal/exp"
 	"repro/internal/service"
@@ -117,7 +120,12 @@ type result struct {
 // mid-stream. maxSubs raises the subscriber caps (0 = server defaults);
 // subscribe mode needs it above the fleet size or late subscribers bounce
 // off admission control. cleanup is always non-nil.
-func startServer(addr string, workers, sessions, maxSubs int) (string, func(), error) {
+//
+// nodes > 1 starts that many colord nodes behind an in-process colorgate —
+// the returned URL is the gateway's, so the measured path includes routing,
+// exactly like a deployed cluster. Each node gets a RemoteFill against its
+// peers; B/op and allocs/op then cover the whole fleet.
+func startServer(addr string, workers, sessions, maxSubs, nodes int) (string, func(), error) {
 	if addr != "" {
 		return addr, func() {}, nil
 	}
@@ -131,20 +139,92 @@ func startServer(addr string, workers, sessions, maxSubs int) (string, func(), e
 		cfg.MaxSubscribers = maxSubs
 		cfg.SessionSubscribers = maxSubs
 	}
-	svc := service.New(cfg)
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		svc.Close()
+	if nodes <= 1 {
+		svc := service.New(cfg)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			svc.Close()
+			return "", func() {}, err
+		}
+		srv := &http.Server{Handler: svc.Handler()}
+		go srv.Serve(ln)
+		base := "http://" + ln.Addr().String()
+		fmt.Fprintf(os.Stderr, "loadgen: in-process colord on %s (workers=%d)\n", base, workers)
+		return base, func() {
+			srv.Close()
+			svc.Close()
+		}, nil
+	}
+
+	var (
+		svcs    []*service.Service
+		srvs    []*http.Server
+		peers   []string
+		fillers = make([]atomic.Pointer[cluster.Filler], nodes)
+		cleanup = func() {}
+	)
+	fail := func(err error) (string, func(), error) {
+		for i := range srvs {
+			srvs[i].Close()
+			svcs[i].Close()
+		}
 		return "", func() {}, err
 	}
-	srv := &http.Server{Handler: svc.Handler()}
-	go srv.Serve(ln)
-	base := "http://" + ln.Addr().String()
-	fmt.Fprintf(os.Stderr, "loadgen: in-process colord on %s (workers=%d)\n", base, workers)
-	return base, func() {
-		srv.Close()
-		svc.Close()
-	}, nil
+	for i := 0; i < nodes; i++ {
+		c := cfg
+		slot := &fillers[i]
+		c.RemoteFill = func(graphName, key string) []byte {
+			if f := slot.Load(); f != nil {
+				return f.Fill(graphName, key)
+			}
+			return nil
+		}
+		svc := service.New(c)
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			svc.Close()
+			return fail(err)
+		}
+		srv := &http.Server{Handler: svc.Handler()}
+		go srv.Serve(ln)
+		svcs = append(svcs, svc)
+		srvs = append(srvs, srv)
+		peers = append(peers, "http://"+ln.Addr().String())
+	}
+	for i := range fillers {
+		fillers[i].Store(cluster.NewFiller(peers, peers[i], nil, 0))
+	}
+	gw, err := cluster.NewGateway(cluster.GatewayConfig{Peers: peers})
+	if err != nil {
+		return fail(err)
+	}
+	gln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		gw.Close()
+		return fail(err)
+	}
+	gsrv := &http.Server{Handler: gw.Handler()}
+	go gsrv.Serve(gln)
+	base := "http://" + gln.Addr().String()
+	fmt.Fprintf(os.Stderr, "loadgen: in-process %d-node cluster behind colorgate %s (workers=%d/node)\n", nodes, base, workers)
+	cleanup = func() {
+		gsrv.Close()
+		gw.Close()
+		for i := range srvs {
+			srvs[i].Close()
+			svcs[i].Close()
+		}
+	}
+	return base, cleanup, nil
+}
+
+// nodesSuffix tags cluster benchmark names so single-node and scaled lines
+// never collide in BENCH_service.json.
+func nodesSuffix(nodes int) string {
+	if nodes <= 1 {
+		return ""
+	}
+	return fmt.Sprintf("/nodes=%d", nodes)
 }
 
 // memCounters is a snapshot of the process allocation counters; deltas over
@@ -199,9 +279,13 @@ func run(args []string) error {
 		driver   = fs.String("driver", "raw", "HTTP client driver: raw (persistent-connection wire client) or std (net/http); color mode")
 		profile  = fs.String("cpuprofile", "", "write a CPU profile of the measurement window to this file")
 		bench    = fs.Bool("bench", false, "emit the report in `go test -bench` format (includes B/op and allocs/op)")
+		nodes    = fs.Int("cluster", 0, "start an in-process N-node colord cluster behind a colorgate and drive it through the gateway (0 = single node; incompatible with -addr)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *nodes > 0 && *addr != "" {
+		return fmt.Errorf("-cluster starts its own in-process fleet; it cannot be combined with -addr")
 	}
 	// -d and -duration are the same knob with two spellings; setting both to
 	// different values is a contradiction, not a precedence puzzle.
@@ -220,13 +304,13 @@ func run(args []string) error {
 		return fmt.Errorf("unknown driver %q (want raw or std)", *driver)
 	}
 	if *mode == "churn" {
-		return runChurn(*addr, *duration, *clients, *mixName, *batch, *workers, *profile, *bench)
+		return runChurn(*addr, *duration, *clients, *mixName, *batch, *workers, *nodes, *profile, *bench)
 	}
 	if *mode == "subscribe" {
 		if *subs < 1 {
 			return fmt.Errorf("need -subs >= 1 (got %d)", *subs)
 		}
-		return runSubscribe(*addr, *duration, *subs, *rate, *mixName, *batch, *workers, *profile, *bench)
+		return runSubscribe(*addr, *duration, *subs, *rate, *mixName, *batch, *workers, *nodes, *profile, *bench)
 	}
 	if *mode != "color" {
 		return fmt.Errorf("unknown mode %q (want color, churn, or subscribe)", *mode)
@@ -257,7 +341,7 @@ func run(args []string) error {
 		}
 	}
 
-	base, cleanup, err := startServer(*addr, *workers, 0, 0)
+	base, cleanup, err := startServer(*addr, *workers, 0, 0, *nodes)
 	if err != nil {
 		return err
 	}
@@ -427,8 +511,8 @@ func run(args []string) error {
 		// go test -bench format: benchjson turns the (value, unit) pairs
 		// into BENCH_service.json metrics.
 		fmt.Printf("goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
-		fmt.Printf("BenchmarkColord/mix=%s/clients=%d/seeds=%d \t%8d\t%12d ns/op\t%10d B/op\t%8d allocs/op\t%12d p50-ns\t%12d p99-ns\t%12d max-ns\t%10.1f req/s\t%8.4f hit-rate\t%8.4f coalesce-rate\n",
-			*mixName, *clients, *seeds, total.requests, avg.Nanoseconds(),
+		fmt.Printf("BenchmarkColord/mix=%s/clients=%d/seeds=%d%s \t%8d\t%12d ns/op\t%10d B/op\t%8d allocs/op\t%12d p50-ns\t%12d p99-ns\t%12d max-ns\t%10.1f req/s\t%8.4f hit-rate\t%8.4f coalesce-rate\n",
+			*mixName, *clients, *seeds, nodesSuffix(*nodes), total.requests, avg.Nanoseconds(),
 			bytesPerOp, allocsPerOp,
 			pct(0.50).Nanoseconds(), pct(0.99).Nanoseconds(),
 			total.latencies[len(total.latencies)-1].Nanoseconds(),
@@ -464,7 +548,7 @@ var churnKinds = []string{"mix", "window", "hotspot"}
 // and streams deterministic mutation batches at it, rolling over to a fresh
 // session when its (long) pre-generated stream runs out. Reported latency is
 // per mutate request (one batch = one repair per op, server-side).
-func runChurn(addr string, duration time.Duration, clients int, mixName string, batch, workers int, profile string, bench bool) error {
+func runChurn(addr string, duration time.Duration, clients int, mixName string, batch, workers, nodes int, profile string, bench bool) error {
 	base, err := churnBases(mixName)
 	if err != nil {
 		return err
@@ -497,7 +581,7 @@ func runChurn(addr string, duration time.Duration, clients int, mixName string, 
 	// plus rollover slack, or concurrent sessions evict each other
 	// mid-stream. (Against an external -addr, the server's own -sessions
 	// flag must exceed -clients the same way.)
-	serverURL, cleanup, err := startServer(addr, workers, 4*clients, 0)
+	serverURL, cleanup, err := startServer(addr, workers, 4*clients, 0, nodes)
 	if err != nil {
 		return err
 	}
@@ -604,8 +688,8 @@ func runChurn(addr string, duration time.Duration, clients int, mixName string, 
 
 	if bench {
 		fmt.Printf("goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
-		fmt.Printf("BenchmarkChurn/mix=%s/clients=%d/batch=%d \t%8d\t%12d ns/op\t%10d B/op\t%8d allocs/op\t%12d p50-ns\t%12d p99-ns\t%12d max-ns\t%10.1f req/s\t%10.1f mut/s\n",
-			mixName, clients, batch, total.requests, avg.Nanoseconds(),
+		fmt.Printf("BenchmarkChurn/mix=%s/clients=%d/batch=%d%s \t%8d\t%12d ns/op\t%10d B/op\t%8d allocs/op\t%12d p50-ns\t%12d p99-ns\t%12d max-ns\t%10.1f req/s\t%10.1f mut/s\n",
+			mixName, clients, batch, nodesSuffix(nodes), total.requests, avg.Nanoseconds(),
 			bytesPerOp, allocsPerOp,
 			pct(0.50).Nanoseconds(), pct(0.99).Nanoseconds(),
 			total.latencies[len(total.latencies)-1].Nanoseconds(), rps, mps)

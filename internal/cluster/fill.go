@@ -1,0 +1,76 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+)
+
+// Filler implements colord's Config.RemoteFill: on a local result-cache
+// miss, ask the key's rendezvous owner for its encoded cache record before
+// computing. The point is to make misrouted or rebalanced traffic cheap —
+// after a peer joins or dies, keys that moved fill their new home with one
+// GET instead of one full recoloring run.
+//
+// The fill is strictly best-effort: the owner answers only from cache (a
+// miss is a 404, never a computation), the request carries a short deadline,
+// and any failure falls through to local computation. Determinism makes this
+// safe — a record fetched from a peer is byte-identical to what the local
+// node would compute.
+type Filler struct {
+	ring    *Ring
+	self    string
+	client  *http.Client
+	timeout time.Duration
+}
+
+// NewFiller builds a filler for the node at self (its own base URL, as it
+// appears in peers). A nil client gets a keep-alive transport; timeout <= 0
+// defaults to 250ms — a fill slower than that is worth less than computing.
+func NewFiller(peers []string, self string, client *http.Client, timeout time.Duration) *Filler {
+	if client == nil {
+		client = &http.Client{Transport: &http.Transport{
+			MaxIdleConnsPerHost: 16,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	if timeout <= 0 {
+		timeout = 250 * time.Millisecond
+	}
+	return &Filler{ring: NewRing(peers), self: self, client: client, timeout: timeout}
+}
+
+// Fill fetches the encoded cache record for key from the graph's owner, or
+// returns nil (own the key, owner down, owner misses, record oversized —
+// all the same answer: compute locally). The signature matches
+// service.Config.RemoteFill.
+func (f *Filler) Fill(graphName, key string) []byte {
+	owner := f.ring.Owner(ColorKey(graphName))
+	if owner == "" || owner == f.self {
+		return nil
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), f.timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, "GET", owner+"/internal/record?key="+url.QueryEscape(key), nil)
+	if err != nil {
+		return nil
+	}
+	resp, err := f.client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+		return nil
+	}
+	// Records are bounded by the graph size; 8 MiB covers any instance this
+	// service builds, and the +1 read detects (and rejects) anything larger.
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 8<<20+1))
+	if err != nil || len(data) == 0 || len(data) > 8<<20 {
+		return nil
+	}
+	return data
+}

@@ -1,0 +1,117 @@
+// Package cluster scales colord horizontally without giving up its core
+// invariant: responses are a pure function of the request. Because every node
+// computes byte-identical answers, a cluster needs no consensus, no
+// replication protocol, and no leader — only deterministic *placement*, so
+// that repeat requests land where the cache and session state already are.
+//
+// Placement is rendezvous (highest-random-weight) hashing over the peer set:
+// every node and every gateway ranks the peers for a key independently and
+// agrees on the order with no coordination. Coloring reads route by graph
+// spec (the whole read plane for one graph concentrates its cache on one
+// node), sessions route by name (a session's WAL and maintainer live on its
+// owner). When a peer dies, only its keys move — to the next peer in their
+// rank order — and every surviving node agrees on the new owner instantly.
+package cluster
+
+import "sort"
+
+// fnv1a is FNV-1a over two strings separated by NUL. The hash must be stable
+// across processes and architectures — gateways and nodes built at different
+// times have to agree on every key's owner — which rules out anything seeded
+// per-process (maphash) and anything layout-dependent.
+func fnv1a(peer, key string) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(peer); i++ {
+		h ^= uint64(peer[i])
+		h *= prime64
+	}
+	h ^= 0
+	h *= prime64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return h
+}
+
+// Ring is an immutable rendezvous hash over a set of peer addresses. Methods
+// are safe for concurrent use; membership changes build a new Ring.
+type Ring struct {
+	peers []string
+}
+
+// NewRing builds a ring over the given peers (base URLs or opaque names).
+// Duplicates are dropped; order does not matter — two rings over the same
+// set rank every key identically.
+func NewRing(peers []string) *Ring {
+	seen := make(map[string]bool, len(peers))
+	uniq := make([]string, 0, len(peers))
+	for _, p := range peers {
+		if p == "" || seen[p] {
+			continue
+		}
+		seen[p] = true
+		uniq = append(uniq, p)
+	}
+	sort.Strings(uniq)
+	return &Ring{peers: uniq}
+}
+
+// Peers returns the membership in sorted order. The slice is shared; do not
+// mutate.
+func (r *Ring) Peers() []string { return r.peers }
+
+// Len returns the peer count.
+func (r *Ring) Len() int { return len(r.peers) }
+
+// Owner returns the highest-weight peer for key, or "" on an empty ring.
+func (r *Ring) Owner(key string) string {
+	var (
+		best  string
+		score uint64
+	)
+	for _, p := range r.peers {
+		if s := fnv1a(p, key); best == "" || s > score || (s == score && p < best) {
+			best, score = p, s
+		}
+	}
+	return best
+}
+
+// Rank returns all peers in descending weight for key: Rank(k)[0] is
+// Owner(k), and a request that fails on Rank(k)[i] should try Rank(k)[i+1] —
+// the peer every other router would also pick next. Ties break by peer name
+// so the order is total.
+func (r *Ring) Rank(key string) []string {
+	type scored struct {
+		peer  string
+		score uint64
+	}
+	ss := make([]scored, len(r.peers))
+	for i, p := range r.peers {
+		ss[i] = scored{p, fnv1a(p, key)}
+	}
+	sort.Slice(ss, func(i, j int) bool {
+		if ss[i].score != ss[j].score {
+			return ss[i].score > ss[j].score
+		}
+		return ss[i].peer < ss[j].peer
+	})
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.peer
+	}
+	return out
+}
+
+// ColorKey is the routing key of a coloring read: all reads of one graph
+// concentrate on one owner, so its result cache fills once cluster-wide.
+func ColorKey(graphName string) string { return "color/" + graphName }
+
+// SessionKey is the routing key of a dynamic session: its maintainer and WAL
+// live on the owner, and every mutate and subscribe for the name lands there.
+func SessionKey(name string) string { return "session/" + name }

@@ -1,0 +1,120 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func testPeers(n int) []string {
+	peers := make([]string, n)
+	for i := range peers {
+		peers[i] = fmt.Sprintf("http://node-%d:8080", i)
+	}
+	return peers
+}
+
+// TestRingDeterministic: two independently built rings over the same peers —
+// in any order — agree on every key's owner and full rank. This is the
+// coordination-free placement contract: gateways and nodes never exchange
+// routing state.
+func TestRingDeterministic(t *testing.T) {
+	peers := testPeers(5)
+	shuffled := []string{peers[3], peers[0], peers[4], peers[2], peers[1]}
+	a, b := NewRing(peers), NewRing(shuffled)
+	for i := 0; i < 500; i++ {
+		key := fmt.Sprintf("color/gnm(n=%d,m=%d,seed=7)", 100+i, 300+i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("key %q: owners disagree across build orders", key)
+		}
+		if !reflect.DeepEqual(a.Rank(key), b.Rank(key)) {
+			t.Fatalf("key %q: ranks disagree across build orders", key)
+		}
+	}
+}
+
+// TestRingRankIsPermutation: Rank returns every peer exactly once, headed by
+// Owner — the failover order is total and starts at the primary.
+func TestRingRankIsPermutation(t *testing.T) {
+	r := NewRing(testPeers(7))
+	for i := 0; i < 200; i++ {
+		key := SessionKey(fmt.Sprintf("sess-%d", i))
+		rank := r.Rank(key)
+		if len(rank) != 7 {
+			t.Fatalf("rank has %d peers, want 7", len(rank))
+		}
+		if rank[0] != r.Owner(key) {
+			t.Fatalf("rank[0] %q != owner %q", rank[0], r.Owner(key))
+		}
+		seen := map[string]bool{}
+		for _, p := range rank {
+			if seen[p] {
+				t.Fatalf("peer %q appears twice in rank", p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+// TestRingMinimalDisruption is rendezvous hashing's reason to exist: removing
+// one peer remaps only the keys it owned (to their rank-2 peer), and every
+// key owned by a survivor keeps its owner.
+func TestRingMinimalDisruption(t *testing.T) {
+	peers := testPeers(5)
+	full := NewRing(peers)
+	dead := peers[2]
+	survivors := append(append([]string{}, peers[:2]...), peers[3:]...)
+	reduced := NewRing(survivors)
+
+	moved := 0
+	for i := 0; i < 2000; i++ {
+		key := ColorKey(fmt.Sprintf("graph-%d", i))
+		before := full.Owner(key)
+		after := reduced.Owner(key)
+		if before != dead {
+			if after != before {
+				t.Fatalf("key %q moved from surviving owner %q to %q", key, before, after)
+			}
+			continue
+		}
+		moved++
+		if want := full.Rank(key)[1]; after != want {
+			t.Fatalf("orphaned key %q went to %q, want its rank-2 peer %q", key, after, want)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys owned by the removed peer — test is vacuous")
+	}
+}
+
+// TestRingBalance: ownership spreads across peers — no peer starves, none
+// hoards. Loose bounds: rendezvous over FNV is not perfect, only unbiased.
+func TestRingBalance(t *testing.T) {
+	peers := testPeers(5)
+	r := NewRing(peers)
+	counts := map[string]int{}
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(ColorKey(fmt.Sprintf("g-%d", i)))]++
+	}
+	for _, p := range peers {
+		share := float64(counts[p]) / keys
+		if share < 0.10 || share > 0.35 {
+			t.Fatalf("peer %s owns %.1f%% of keys, want 10%%-35%%", p, 100*share)
+		}
+	}
+}
+
+// TestRingDegenerate: empty and single-peer rings behave.
+func TestRingDegenerate(t *testing.T) {
+	if o := NewRing(nil).Owner("k"); o != "" {
+		t.Fatalf("empty ring owner %q, want empty", o)
+	}
+	one := NewRing([]string{"http://solo:1", "http://solo:1", ""})
+	if one.Len() != 1 {
+		t.Fatalf("dedup failed: %d peers", one.Len())
+	}
+	if o := one.Owner("k"); o != "http://solo:1" {
+		t.Fatalf("single-peer owner %q", o)
+	}
+}

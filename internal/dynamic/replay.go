@@ -1,0 +1,52 @@
+package dynamic
+
+import (
+	"fmt"
+
+	"repro/internal/exp"
+	"repro/internal/wal"
+)
+
+// Replay rebuilds a Maintainer from a write-ahead log: it constructs the base
+// graph from the log header's spec, computes the initial canonical coloring,
+// and re-applies every logged mutation in order, checking after each that the
+// rebuilt graph's fingerprint equals the one recorded at commit time. Because
+// the maintained coloring is a deterministic function of (base graph,
+// mutation sequence), fingerprint equality at every step proves the replayed
+// session is byte-identical to the one that wrote the log — Colors(),
+// Snapshot(), everything.
+//
+// cfg.OnCommit is suppressed while the log replays (a restart must not
+// re-publish history to subscribers or re-append it to the log) and installed
+// afterwards, so mutations applied after Replay returns stream and log
+// normally.
+func Replay(hdr wal.Header, recs []wal.Record, cfg Config) (*Maintainer, error) {
+	base, err := hdr.Base.Build()
+	if err != nil {
+		return nil, fmt.Errorf("replay %q: base %s: %w", hdr.Session, hdr.Base, err)
+	}
+	hook := cfg.OnCommit
+	cfg.OnCommit = nil
+	m, err := New(base, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("replay %q: initial coloring: %w", hdr.Session, err)
+	}
+	for _, rec := range recs {
+		if _, _, err := m.Apply([]exp.Mutation{rec.Op}); err != nil {
+			m.Close()
+			return nil, fmt.Errorf("replay %q: seq %d (%s %d-%d): %w",
+				hdr.Session, rec.Seq, rec.Op.Op, rec.Op.U, rec.Op.V, err)
+		}
+		if fp := m.Fingerprint(); fp != rec.Fingerprint {
+			m.Close()
+			return nil, fmt.Errorf("replay %q: seq %d: fingerprint %x, log recorded %x",
+				hdr.Session, rec.Seq, fp[:8], rec.Fingerprint[:8])
+		}
+	}
+	if hook != nil {
+		m.mu.Lock()
+		m.cfg.OnCommit = hook
+		m.mu.Unlock()
+	}
+	return m, nil
+}

@@ -1,0 +1,344 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/dynamic"
+	"repro/internal/exp"
+)
+
+func walConfig(dir string) Config {
+	cfg := testConfig()
+	cfg.WALDir = dir
+	return cfg
+}
+
+// TestSessionSurvivesRestart is the durability contract end to end: a
+// WAL-backed session driven through mutations, closed with the service, and
+// recreated by a fresh service on the same directory — with no base spec from
+// the client — serves the identical fingerprint and byte-identical coloring,
+// and keeps accepting mutations with no divergence from a never-restarted
+// oracle.
+func TestSessionSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	base := exp.GraphSpec{Family: "gnm", N: 32, M: 70, Seed: 4}
+	stream := exp.MutationStream{Kind: "mix", Base: base, Ops: 50, Seed: 9}
+	g, muts, err := stream.Generate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before, after := muts[:40], muts[40:]
+
+	s := New(walConfig(dir))
+	if _, _, err := s.Mutate(MutateRequest{Session: "d", Base: &base, Ops: before}); err != nil {
+		t.Fatal(err)
+	}
+	live, _, err := s.Mutate(MutateRequest{Session: "d", Colors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := s.Stats(); st.WALAppends != int64(len(before)) || st.WALErrors != 0 {
+		t.Fatalf("walAppends %d / walErrors %d, want %d / 0", st.WALAppends, st.WALErrors, len(before))
+	}
+	s.Close()
+
+	// A fresh process: the client supplies only the name — the log header
+	// carries the base spec, the records carry the history.
+	s2 := New(walConfig(dir))
+	defer s2.Close()
+	rec, _, err := s2.Mutate(MutateRequest{Session: "d", Colors: true})
+	if err != nil {
+		t.Fatalf("recover without base: %v", err)
+	}
+	if rec.Fingerprint != live.Fingerprint {
+		t.Fatalf("recovered fingerprint %s, want %s", rec.Fingerprint, live.Fingerprint)
+	}
+	if !reflect.DeepEqual(rec.Colors, live.Colors) {
+		t.Fatal("recovered coloring differs from pre-restart coloring")
+	}
+	st := s2.Stats()
+	if st.Replayed != int64(len(before)) {
+		t.Fatalf("replayed %d records, want %d", st.Replayed, len(before))
+	}
+	if len(st.Sessions) != 1 {
+		t.Fatalf("%d sessions, want 1", len(st.Sessions))
+	}
+	snap := st.Sessions[0]
+	if snap.Replayed != int64(len(before)) || snap.WALSeq != int64(len(before)) || snap.WALBytes == 0 {
+		t.Fatalf("session snapshot %+v: want replayed=walSeq=%d, walBytes>0", snap, len(before))
+	}
+
+	// The recovered session is not a museum piece: it keeps mutating, the WAL
+	// keeps appending from the replayed seq, and the result matches an oracle
+	// that never restarted.
+	got, _, err := s2.Mutate(MutateRequest{Session: "d", Ops: after, Colors: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Totals.Mutations != int64(len(muts)) {
+		t.Fatalf("cumulative mutations %d, want %d (seq continues across restart)", got.Totals.Mutations, len(muts))
+	}
+	oracle, err := dynamic.New(g, dynamic.Config{Engine: dist.Compiled})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer oracle.Close()
+	if _, _, err := oracle.Apply(muts); err != nil {
+		t.Fatal(err)
+	}
+	if got.Fingerprint != oracle.Fingerprint().String() {
+		t.Fatal("post-recovery fingerprint diverged from the never-restarted oracle")
+	}
+	if !reflect.DeepEqual(got.Colors, oracle.Colors()) {
+		t.Fatal("post-recovery coloring diverged from the never-restarted oracle")
+	}
+}
+
+// TestWALHeaderSpecWins: recreating a durable session with a different base
+// spec does not fork it — the log header is the truth about what the session
+// is, and the request's spec is ignored.
+func TestWALHeaderSpecWins(t *testing.T) {
+	dir := t.TempDir()
+	a := exp.GraphSpec{Family: "cycle", N: 20}
+	s := New(walConfig(dir))
+	if _, _, err := s.Mutate(MutateRequest{Session: "w", Base: &a, Ops: []exp.Mutation{{Op: exp.OpInsert, U: 0, V: 7}}}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := New(walConfig(dir))
+	defer s2.Close()
+	b := exp.GraphSpec{Family: "gnm", N: 64, M: 100, Seed: 1}
+	resp, _, err := s2.Mutate(MutateRequest{Session: "w", Base: &b})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.N != 20 || resp.M != 21 {
+		t.Fatalf("recovered session shape n=%d m=%d, want the logged cycle (20, 21)", resp.N, resp.M)
+	}
+	if got := s2.Stats().Sessions[0].Base; got != a.String() {
+		t.Fatalf("session base %q, want the log header's %q", got, a.String())
+	}
+}
+
+// TestSessionResurrectsAfterEviction: LRU eviction closes a durable session
+// but keeps its log; touching the name again replays it back, state intact.
+func TestSessionResurrectsAfterEviction(t *testing.T) {
+	dir := t.TempDir()
+	cfg := walConfig(dir)
+	cfg.Sessions = 1
+	s := New(cfg)
+	defer s.Close()
+
+	base := exp.GraphSpec{Family: "cycle", N: 12}
+	first, _, err := s.Mutate(MutateRequest{Session: "a", Base: &base, Ops: []exp.Mutation{{Op: exp.OpInsert, U: 0, V: 5}, {Op: exp.OpInsert, U: 2, V: 8}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A second session in a one-slot table evicts "a".
+	if _, _, err := s.Mutate(MutateRequest{Session: "b", Base: &base}); err != nil {
+		t.Fatal(err)
+	}
+	back, _, err := s.Mutate(MutateRequest{Session: "a", Colors: true})
+	if err != nil {
+		t.Fatalf("resurrect evicted session: %v", err)
+	}
+	if back.Fingerprint != first.Fingerprint {
+		t.Fatalf("resurrected fingerprint %s, want %s", back.Fingerprint, first.Fingerprint)
+	}
+	if back.M != first.M {
+		t.Fatalf("resurrected m=%d, want %d", back.M, first.M)
+	}
+}
+
+// resumeHarness is one SSE connection with Last-Event-ID support.
+func openStream(t *testing.T, url, session string, lastID int64) (*http.Response, *bufio.Reader, HelloEvent) {
+	t.Helper()
+	req, err := http.NewRequest("GET", url+"/v1/subscribe?session="+session, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lastID >= 0 {
+		req.Header.Set("Last-Event-ID", fmt.Sprintf("%d", lastID))
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("subscribe status %d, want 200", resp.StatusCode)
+	}
+	rd := bufio.NewReader(resp.Body)
+	ev, err := readSSE(rd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.event != "hello" {
+		t.Fatalf("first event %q, want hello", ev.event)
+	}
+	var hello HelloEvent
+	if err := json.Unmarshal(ev.data, &hello); err != nil {
+		t.Fatal(err)
+	}
+	return resp, rd, hello
+}
+
+// readDeltas reads n delta frames and asserts consecutive seqs from first on.
+func readDeltas(t *testing.T, rd *bufio.Reader, first int64, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		ev, err := readSSE(rd)
+		if err != nil {
+			t.Fatalf("delta %d: %v", i, err)
+		}
+		if ev.event != "delta" {
+			t.Fatalf("delta %d: event %q", i, ev.event)
+		}
+		if want := first + int64(i); ev.id != want {
+			t.Fatalf("delta %d: id %d, want %d (no gaps, no repeats)", i, ev.id, want)
+		}
+	}
+}
+
+// TestSubscribeResumeNoGaps is the reconnect contract: a client that
+// disconnects, misses commits, and reconnects with Last-Event-ID receives
+// hello{resumed:true} and then every missed delta exactly once, in order —
+// no gaps, no repeats.
+func TestSubscribeResumeNoGaps(t *testing.T) {
+	s := New(testConfig())
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	base := exp.GraphSpec{Family: "cycle", N: 16}
+	if _, _, err := s.Mutate(MutateRequest{Session: "r", Base: &base}); err != nil {
+		t.Fatal(err)
+	}
+	resp, rd, hello := openStream(t, srv.URL, "r", -1)
+	if hello.Seq != 0 || hello.Resumed || hello.Missed != 0 {
+		t.Fatalf("fresh hello %+v", hello)
+	}
+	mutate := func(u, v int) {
+		t.Helper()
+		if _, _, err := s.Mutate(MutateRequest{Session: "r", Ops: []exp.Mutation{{Op: exp.OpInsert, U: u, V: v}}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mutate(0, 5)
+	mutate(1, 6)
+	mutate(2, 7)
+	readDeltas(t, rd, 1, 3)
+	resp.Body.Close() // the client drops mid-stream
+
+	// Commits keep landing while the client is away.
+	mutate(3, 8)
+	mutate(4, 9)
+
+	resp2, rd2, hello2 := openStream(t, srv.URL, "r", 3)
+	defer resp2.Body.Close()
+	if !hello2.Resumed || hello2.Missed != 0 || hello2.Seq != 3 {
+		t.Fatalf("resume hello %+v, want resumed from seq 3 with nothing missed", hello2)
+	}
+	// The away-time commits replay first, then live ones follow seamlessly.
+	readDeltas(t, rd2, 4, 2)
+	mutate(5, 10)
+	readDeltas(t, rd2, 6, 1)
+}
+
+// TestSubscribeResumeRotated: when the requested position has fallen out of
+// the feed ring, hello reports the irrecoverable gap (resumed:false, missed
+// counting exactly the rotated-out commits) and the stream continues from the
+// oldest retained delta.
+func TestSubscribeResumeRotated(t *testing.T) {
+	cfg := testConfig()
+	cfg.FeedBuffer = 4
+	s := New(cfg)
+	defer s.Close()
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	base := exp.GraphSpec{Family: "cycle", N: 32}
+	if _, _, err := s.Mutate(MutateRequest{Session: "r", Base: &base}); err != nil {
+		t.Fatal(err)
+	}
+	// First subscriber primes the feed (feeds exist from first subscribe),
+	// then leaves; the feed persists as the resume window.
+	resp, _, _ := openStream(t, srv.URL, "r", -1)
+	resp.Body.Close()
+
+	var ops []exp.Mutation
+	for i := 0; i < 10; i++ {
+		ops = append(ops, exp.Mutation{Op: exp.OpInsert, U: i, V: i + 12})
+	}
+	if _, _, err := s.Mutate(MutateRequest{Session: "r", Ops: ops}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The ring holds seqs 7..10; a client resuming from 1 lost 2..6.
+	resp2, rd2, hello := openStream(t, srv.URL, "r", 1)
+	defer resp2.Body.Close()
+	if hello.Resumed {
+		t.Fatalf("hello %+v: claims an exact resume across a rotated ring", hello)
+	}
+	if hello.Seq != 6 || hello.Missed != 5 {
+		t.Fatalf("hello seq %d missed %d, want 6 / 5 (ring retains 7..10)", hello.Seq, hello.Missed)
+	}
+	readDeltas(t, rd2, 7, 4)
+}
+
+// TestSubscribeResumeAfterRestart: the feed ring dies with the process, but
+// the session's seq continues from the WAL replay — so a reconnect across a
+// restart still gets exact gap arithmetic (missed = seq - lastID) instead of
+// a lie or a reset-to-zero stream.
+func TestSubscribeResumeAfterRestart(t *testing.T) {
+	dir := t.TempDir()
+	base := exp.GraphSpec{Family: "cycle", N: 16}
+	s := New(walConfig(dir))
+	var ops []exp.Mutation
+	for i := 0; i < 5; i++ {
+		ops = append(ops, exp.Mutation{Op: exp.OpInsert, U: i, V: i + 6})
+	}
+	if _, _, err := s.Mutate(MutateRequest{Session: "r", Base: &base, Ops: ops}); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := New(walConfig(dir))
+	defer s2.Close()
+	srv := httptest.NewServer(s2.Handler())
+	defer srv.Close()
+	// Touch the session so it replays (subscribe alone does not create).
+	if _, _, err := s2.Mutate(MutateRequest{Session: "r"}); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, rd, hello := openStream(t, srv.URL, "r", 2)
+	defer resp.Body.Close()
+	if hello.Resumed {
+		t.Fatalf("hello %+v: claims resume but the ring did not survive the restart", hello)
+	}
+	if hello.Seq != 5 || hello.Missed != 3 {
+		t.Fatalf("hello seq %d missed %d, want 5 / 3 (client saw 2 of 5 pre-restart commits)", hello.Seq, hello.Missed)
+	}
+	// Deltas continue from the replayed seq: the next commit is 6.
+	if _, _, err := s2.Mutate(MutateRequest{Session: "r", Ops: []exp.Mutation{{Op: exp.OpInsert, U: 0, V: 8}}}); err != nil {
+		t.Fatal(err)
+	}
+	readDeltas(t, rd, 6, 1)
+
+	// A client claiming a future seq is from a different incarnation: not
+	// resumable, and not reported as such.
+	resp2, _, hello2 := openStream(t, srv.URL, "r", 99)
+	resp2.Body.Close()
+	if hello2.Resumed || hello2.Missed != 0 {
+		t.Fatalf("future-seq hello %+v, want neither resumed nor missed", hello2)
+	}
+}

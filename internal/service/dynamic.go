@@ -4,13 +4,18 @@ import (
 	"container/list"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"sync"
 
 	"repro/internal/dist"
 	"repro/internal/dynamic"
 	"repro/internal/exp"
 	"repro/internal/graph"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -80,17 +85,26 @@ type session struct {
 	once sync.Once  // builds mt
 	mu   sync.Mutex // orders mt/err publication for statz peeks
 	mt   *dynamic.Maintainer
-	err  error
+	// wlog is the session's write-ahead log when durability is on; closed
+	// with the maintainer. replayed counts the records recovered at build.
+	wlog     *wal.Log
+	replayed int
+	err      error
 }
 
 // build runs the session's one-time maintainer construction. Request paths
 // order through the Once; the extra publication under mu is for statz
-// snapshots, which peek at sessions they never built.
-func (s *session) build(f func(exp.GraphSpec) (*dynamic.Maintainer, error)) {
+// snapshots, which peek at sessions they never built. A WAL-recovered
+// session's spec may differ from the create request's: the log header is
+// the durable truth, so it wins.
+func (s *session) build(f func(exp.GraphSpec) (*dynamic.Maintainer, *wal.Log, exp.GraphSpec, int, error)) {
 	s.once.Do(func() {
-		mt, err := f(s.spec)
+		mt, wlog, spec, replayed, err := f(s.spec)
 		s.mu.Lock()
-		s.mt, s.err = mt, err
+		s.mt, s.wlog, s.replayed, s.err = mt, wlog, replayed, err
+		if err == nil {
+			s.spec = spec
+		}
 		s.mu.Unlock()
 	})
 }
@@ -116,7 +130,7 @@ func newSessionTable(capacity int) *sessionTable {
 // get returns the named session, creating it (and evicting the coldest if
 // the table is full) when base is non-nil. Creation errors are surfaced
 // once and the slot is freed, mirroring graphCache.
-func (st *sessionTable) get(name string, base *exp.GraphSpec, build func(exp.GraphSpec) (*dynamic.Maintainer, error)) (*session, error) {
+func (st *sessionTable) get(name string, base *exp.GraphSpec, build func(exp.GraphSpec) (*dynamic.Maintainer, *wal.Log, exp.GraphSpec, int, error)) (*session, error) {
 	st.mu.Lock()
 	el, ok := st.entries[name]
 	if !ok {
@@ -165,6 +179,16 @@ func (st *sessionTable) closeSession(s *session) {
 	if mt := s.maintainer(); mt != nil {
 		mt.Close()
 	}
+	// Close() waited out any in-flight mutation, so no commit hook can touch
+	// the log after this point. The file itself stays: a WAL-backed session
+	// resurrects from it on the next create or recovery.
+	s.mu.Lock()
+	wlog := s.wlog
+	s.wlog = nil
+	s.mu.Unlock()
+	if wlog != nil {
+		wlog.Close()
+	}
 	if st.onClose != nil {
 		st.onClose(s.name)
 	}
@@ -207,8 +231,15 @@ func (st *sessionTable) snapshot() []SessionSnapshot {
 	st.mu.Unlock()
 	out := make([]SessionSnapshot, 0, len(sessions))
 	for _, s := range sessions {
-		snap := SessionSnapshot{Session: s.name, Base: s.spec.String()}
-		if mt := s.maintainer(); mt != nil {
+		s.mu.Lock()
+		snap := SessionSnapshot{Session: s.name, Base: s.spec.String(), Replayed: int64(s.replayed)}
+		mt, wlog := s.mt, s.wlog
+		s.mu.Unlock()
+		if wlog != nil {
+			snap.WALSeq = wlog.LastSeq()
+			snap.WALBytes = wlog.Size()
+		}
+		if mt != nil {
 			fp, n, m, _ := mt.Shape()
 			snap.N, snap.M = n, m
 			snap.Fingerprint = fp.String()
@@ -244,6 +275,11 @@ type SessionSnapshot struct {
 	M           int           `json:"m"`
 	Fingerprint string        `json:"fingerprint"`
 	Totals      dynamic.Stats `json:"totals"`
+	// Replayed is the number of WAL records this session was rebuilt from at
+	// creation; WALSeq/WALBytes describe its live log (durable sessions only).
+	Replayed int64 `json:"replayed,omitempty"`
+	WALSeq   int64 `json:"walSeq,omitempty"`
+	WALBytes int64 `json:"walBytes,omitempty"`
 }
 
 // Mutate serves one dynamic session request. Mutations always execute;
@@ -259,7 +295,16 @@ func (s *Service) Mutate(req MutateRequest) (*MutateResponse, Outcome, error) {
 		ctr.errors.Add(1)
 		return nil, "", fmt.Errorf("service: mutate request needs a session name")
 	}
-	sess, err := s.sessions.get(req.Session, req.Base, func(spec exp.GraphSpec) (*dynamic.Maintainer, error) {
+	base := req.Base
+	if base == nil && s.cfg.WALDir != "" {
+		// No base spec, but the session may have a durable log from an
+		// earlier incarnation (or a restart): its header carries the spec,
+		// so the session is recoverable without the client resupplying it.
+		if hdr, ok := s.walHeader(req.Session); ok {
+			base = &hdr.Base
+		}
+	}
+	sess, err := s.sessions.get(req.Session, base, func(spec exp.GraphSpec) (*dynamic.Maintainer, *wal.Log, exp.GraphSpec, int, error) {
 		return s.buildMaintainer(req.Session, spec)
 	})
 	if err != nil {
@@ -303,25 +348,101 @@ func (s *Service) Mutate(req MutateRequest) (*MutateResponse, Outcome, error) {
 	return resp, Miss, nil
 }
 
+// walPath maps a session name to its log file: a hash, not the name itself,
+// so arbitrary session names cannot traverse or collide in the directory.
+func (s *Service) walPath(name string) string {
+	sum := sha256.Sum256([]byte("colord-wal-name\x00" + name))
+	return filepath.Join(s.cfg.WALDir, hex.EncodeToString(sum[:16])+".wal")
+}
+
+// walHeader peeks at the named session's log header, if a log exists.
+func (s *Service) walHeader(name string) (wal.Header, bool) {
+	data, err := os.ReadFile(s.walPath(name))
+	if err != nil {
+		return wal.Header{}, false
+	}
+	hdr, _, _, err := wal.Scan(data)
+	if err != nil {
+		return wal.Header{}, false
+	}
+	return hdr, true
+}
+
 // buildMaintainer creates a session's maintainer from its base spec. The
 // repair algorithm has a compiled form, and repairs are byte-identical across
 // engines, so sessions always run on the compiled engine regardless of the
 // service default — the choice is wall-clock only, and /statz records it per
 // session. The commit hook feeds the subscriber hub: it fires under the
 // maintainer's lock (so feed order is commit order), and the render closure
-// only runs when the session has live subscribers — unobserved sessions
-// never encode a frame.
-func (s *Service) buildMaintainer(name string, spec exp.GraphSpec) (*dynamic.Maintainer, error) {
-	g, err := spec.Build()
-	if err != nil {
-		return nil, err
+// only runs when the session has (ever had) subscribers — unobserved
+// sessions never encode a frame.
+//
+// With Config.WALDir set, the session is durable: an existing log is
+// replayed (the log header's spec wins over the request's — the log is the
+// truth about what the session is), a missing one is created, and every
+// commit appends its record — durability first, then the subscriber
+// publish, both under the commit lock. A WAL append failure latches the log
+// broken and counts in walErrors; serving continues on the in-memory state
+// (an explicitly monitored degradation, not a silent one).
+func (s *Service) buildMaintainer(name string, spec exp.GraphSpec) (*dynamic.Maintainer, *wal.Log, exp.GraphSpec, int, error) {
+	if s.cfg.WALDir == "" {
+		g, err := spec.Build()
+		if err != nil {
+			return nil, nil, spec, 0, err
+		}
+		m, err := dynamic.New(g, dynamic.Config{
+			Engine: dist.Compiled,
+			OnCommit: func(ev dynamic.CommitEvent) {
+				s.hub.publish(name, ev.Seq, func() []byte { return deltaFrameBytes(name, ev) })
+			},
+		})
+		return m, nil, spec, 0, err
 	}
-	return dynamic.New(g, dynamic.Config{
+
+	path := s.walPath(name)
+	opts := wal.Options{Sync: s.cfg.WALSync}
+	var (
+		l    *wal.Log
+		hdr  wal.Header
+		recs []wal.Record
+	)
+	if _, err := os.Stat(path); err == nil {
+		l, hdr, recs, err = wal.Open(path, opts)
+		if err != nil {
+			return nil, nil, spec, 0, fmt.Errorf("service: session %q wal: %w", name, err)
+		}
+		if hdr.Session != name {
+			l.Close()
+			return nil, nil, spec, 0, fmt.Errorf("service: wal %s belongs to session %q, not %q", filepath.Base(path), hdr.Session, name)
+		}
+	} else if errors.Is(err, fs.ErrNotExist) {
+		hdr = wal.Header{Session: name, Base: spec}
+		l, err = wal.Create(path, hdr, opts)
+		if err != nil {
+			return nil, nil, spec, 0, fmt.Errorf("service: session %q wal: %w", name, err)
+		}
+	} else {
+		return nil, nil, spec, 0, fmt.Errorf("service: session %q wal: %w", name, err)
+	}
+
+	ctr := s.counters.stripe(cacheHashString(name))
+	m, err := dynamic.Replay(hdr, recs, dynamic.Config{
 		Engine: dist.Compiled,
 		OnCommit: func(ev dynamic.CommitEvent) {
-			s.hub.publish(name, func() []byte { return deltaFrameBytes(name, ev) })
+			if err := l.Append(wal.Record{Seq: ev.Seq, Op: ev.Op, Fingerprint: ev.Fingerprint}); err != nil {
+				ctr.walErrors.Add(1)
+			} else {
+				ctr.walAppends.Add(1)
+			}
+			s.hub.publish(name, ev.Seq, func() []byte { return deltaFrameBytes(name, ev) })
 		},
 	})
+	if err != nil {
+		l.Close()
+		return nil, nil, spec, 0, err
+	}
+	ctr.replayed.Add(int64(len(recs)))
+	return m, l, hdr.Base, len(recs), nil
 }
 
 // readColors serves a pure coloring read through the result cache. The key

@@ -63,7 +63,10 @@ const counterStripes = 8
 // became a request), which keeps /statz able to see a garbage-spraying
 // client without perturbing the requests ≥ outcomes invariant. The
 // subscribes/delivered/dropped trio is the streaming-feed plane, striped by
-// session name.
+// session name; replayed/walAppends/walErrors/filled are the
+// durability-and-cluster plane (WAL records replayed into recovered
+// sessions, per-commit log appends and failures, cache misses satisfied by
+// a peer).
 type counterStripe struct {
 	requests    atomic.Int64
 	hits        atomic.Int64
@@ -75,7 +78,11 @@ type counterStripe struct {
 	subscribes  atomic.Int64
 	delivered   atomic.Int64
 	dropped     atomic.Int64
-	_           [128 - 10*8]byte
+	replayed    atomic.Int64
+	walAppends  atomic.Int64
+	walErrors   atomic.Int64
+	filled      atomic.Int64
+	_           [128 - 14*8]byte
 }
 
 // serviceCounters stripes the per-request counters across padded cache
@@ -93,6 +100,7 @@ func (c *serviceCounters) stripe(h uint64) *counterStripe {
 type counterTotals struct {
 	requests, hits, coalesced, runs, errors, mutations int64
 	badRequests, subscribes, delivered, dropped        int64
+	replayed, walAppends, walErrors, filled            int64
 }
 
 func (c *serviceCounters) totals() counterTotals {
@@ -112,6 +120,10 @@ func (c *serviceCounters) totals() counterTotals {
 		t.subscribes += s.subscribes.Load()
 		t.delivered += s.delivered.Load()
 		t.dropped += s.dropped.Load()
+		t.replayed += s.replayed.Load()
+		t.walAppends += s.walAppends.Load()
+		t.walErrors += s.walErrors.Load()
+		t.filled += s.filled.Load()
 		t.requests += s.requests.Load()
 	}
 	return t

@@ -105,6 +105,26 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, resp)
 	})
 	mux.HandleFunc("GET /v1/subscribe", s.serveSubscribe)
+	// The peer-fill plane: a cluster peer that misses on a key asks its
+	// rendezvous owner for the encoded cache record before computing
+	// locally. Strictly a cache peek — a miss is a plain 404 and never
+	// triggers work, so peers cannot amplify load on each other.
+	mux.HandleFunc("GET /internal/record", func(w http.ResponseWriter, r *http.Request) {
+		key := r.URL.Query().Get("key")
+		if key == "" {
+			httpError(w, http.StatusBadRequest, "record lookup needs a ?key= query parameter")
+			return
+		}
+		rec, ok := s.CachedRecord(key)
+		if !ok {
+			httpError(w, http.StatusNotFound, "key not cached here")
+			return
+		}
+		h := w.Header()
+		h.Set("Content-Type", "application/octet-stream")
+		h.Set("Content-Length", strconv.Itoa(len(rec)))
+		w.Write(rec)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		w.Write([]byte("ok\n"))

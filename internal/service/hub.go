@@ -23,13 +23,19 @@ import (
 //     per-subscriber ring buffer;
 //   - frames are delivered in commit order with no gaps (until overflow or
 //     close): the publisher appends under the maintainer's commit lock, so
-//     log order IS commit order.
+//     log order IS commit order, and frames are indexed by the commit
+//     sequence number itself. A subscriber's cursor is therefore a commit
+//     seq — the same number the SSE id: line carries — which is what makes
+//     reconnect-with-Last-Event-ID resumption exact: the cursor placement
+//     IS the client's last acknowledged commit.
 //
 // Admission is controlled at subscribe time: a global subscriber cap bounds
 // the service's fan-out, and a per-session quota keeps one hot session from
-// monopolizing it. Feeds exist only while subscribed-to: with no
-// subscribers, publish is a map lookup that declines the render closure, so
-// unobserved sessions pay nothing for the feature's existence.
+// monopolizing it. A feed is created by a session's first-ever subscriber
+// and persists until the session closes (it is NOT torn down when the last
+// subscriber leaves): the retained ring is the resume window for clients
+// that disconnect and come back. Sessions that were never subscribed to pay
+// nothing — publish without a feed is a declined map lookup.
 type subHub struct {
 	maxSubs     int // global concurrent-subscriber cap
 	sessionSubs int // per-session quota
@@ -59,15 +65,18 @@ func newSubHub(maxSubs, sessionSubs, buffer int) *subHub {
 }
 
 // feed is one session's broadcast log: a bounded ring of prerendered frames
-// with a monotone append count. frames[(i-1)%len] holds the i-th appended
-// frame for i in (seq-len(frames), seq]; older frames are overwritten, which
-// is exactly the overflow bound.
+// indexed by commit seq. frames[s%len] holds the frame of commit s for s in
+// [max(first, seq-len+1), seq]; older frames are overwritten, which is
+// exactly the overflow bound. first is the seq of the first frame ever
+// appended (the feed may be created mid-session, so history before first
+// never existed here); first == 0 means nothing has been published yet.
 type feed struct {
 	name string
 
 	mu     sync.Mutex
 	frames [][]byte
-	seq    uint64 // frames ever appended; valid window is (seq-len, seq]
+	first  uint64 // seq of the first frame ever appended; 0 = none yet
+	seq    uint64 // seq of the newest appended frame; 0 = none yet
 	subs   int
 	closed bool
 	wake   chan struct{} // closed and replaced on every append/close
@@ -78,7 +87,9 @@ type feed struct {
 type feedSub struct {
 	hub *subHub
 	f   *feed
-	// cursor is the next append index to read (1-based).
+	// cursor is the next commit seq to read. 0 is the "from the next
+	// append" sentinel used when the feed has not published yet: it
+	// resolves to f.first on the first read after the feed primes.
 	cursor uint64
 	done   bool
 }
@@ -102,16 +113,27 @@ const (
 )
 
 // subscribe registers a subscriber on the named session's feed, creating the
-// feed if this is its first subscriber. The cursor starts at "now": the
+// feed if it does not exist yet.
+//
+// from < 0 is a fresh subscription: the cursor starts at "now" and the
 // subscriber sees every frame published after registration, in order.
-func (h *subHub) subscribe(session string) (*feedSub, error) {
+//
+// from >= 0 is a resume (the client's Last-Event-ID): the subscriber wants
+// the stream to continue at commit from+1. ack reports where the cursor
+// actually landed: ack >= 0 means the cursor is at commit ack+1 — ack == from
+// is an exact resume, ack > from means commits (from, ack] rotated out of the
+// ring and are gone (the caller reports the gap in the hello frame). ack < 0
+// means the feed has no usable history (never published, or the client is
+// ahead of it); the cursor is at "now" and the caller determines the gap from
+// the session's current commit seq.
+func (h *subHub) subscribe(session string, from int64) (sub *feedSub, ack int64, err error) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	if h.closed {
-		return nil, errHubClosed
+		return nil, -1, errHubClosed
 	}
 	if h.total >= h.maxSubs {
-		return nil, fmt.Errorf("%w (%d)", errHubFull, h.maxSubs)
+		return nil, -1, fmt.Errorf("%w (%d)", errHubFull, h.maxSubs)
 	}
 	f := h.feeds[session]
 	if f == nil {
@@ -125,37 +147,73 @@ func (h *subHub) subscribe(session string) (*feedSub, error) {
 	f.mu.Lock()
 	if f.subs >= h.sessionSubs {
 		f.mu.Unlock()
-		if f.subs == 0 { // only possible when the quota is 0-ish; tidy up
-			delete(h.feeds, session)
-		}
-		return nil, fmt.Errorf("%w (%d)", errSessionFull, h.sessionSubs)
+		return nil, -1, fmt.Errorf("%w (%d)", errSessionFull, h.sessionSubs)
 	}
 	f.subs++
-	cursor := f.seq + 1
+	ack = -1
+	var cursor uint64
+	switch {
+	case f.seq == 0:
+		// Nothing published yet (possibly ever): start at the next append,
+		// whatever its seq turns out to be.
+		cursor = 0
+	case from < 0:
+		// Fresh subscription on a live feed: from the next commit.
+		cursor = f.seq + 1
+	case uint64(from) >= f.seq:
+		// Resuming at (or somehow past) the head: nothing to replay, next
+		// commit continues the stream. Exact when from == f.seq; a client
+		// claiming a future seq is handled by the caller against the
+		// session's real state.
+		cursor = f.seq + 1
+		if uint64(from) == f.seq {
+			ack = from
+		}
+	default:
+		// Resume from the ring. The retained window is
+		// [max(first, seq-len+1), seq].
+		start := f.seq - uint64(len(f.frames)) + 1
+		if f.first > start || f.seq < uint64(len(f.frames)) {
+			start = f.first
+		}
+		cursor = uint64(from) + 1
+		if cursor < start {
+			// The requested position rotated out; resume at the window's
+			// start and let the caller report the gap.
+			cursor = start
+		}
+		ack = int64(cursor) - 1
+	}
 	f.mu.Unlock()
 	h.total++
-	return &feedSub{hub: h, f: f, cursor: cursor}, nil
+	return &feedSub{hub: h, f: f, cursor: cursor}, ack, nil
 }
 
-// publish appends one frame to the named session's feed, rendering it with
-// render only if someone is listening. It never blocks on subscribers: the
-// append is O(1) and the wake is a channel close. Returns whether a frame
-// was published.
-func (h *subHub) publish(session string, render func() []byte) bool {
+// publish appends the frame of commit seq to the named session's feed,
+// rendering it with render only if the session has (ever had) a subscriber.
+// It never blocks on subscribers: the append is O(1) and the wake is a
+// channel close. The caller publishes under the maintainer's commit lock, so
+// seqs arrive consecutive; a non-consecutive seq on a primed feed is dropped
+// (it cannot be ordered into the ring). Returns whether a frame was
+// published.
+func (h *subHub) publish(session string, seq int64, render func() []byte) bool {
 	h.mu.Lock()
 	f := h.feeds[session]
 	h.mu.Unlock()
-	if f == nil {
+	if f == nil || seq <= 0 {
 		return false
 	}
 	frame := render()
 	f.mu.Lock()
-	if f.closed {
+	if f.closed || (f.seq != 0 && uint64(seq) != f.seq+1) {
 		f.mu.Unlock()
 		return false
 	}
-	f.seq++
-	f.frames[int((f.seq-1)%uint64(len(f.frames)))] = frame
+	if f.first == 0 {
+		f.first = uint64(seq)
+	}
+	f.seq = uint64(seq)
+	f.frames[int(f.seq%uint64(len(f.frames)))] = frame
 	close(f.wake)
 	f.wake = make(chan struct{})
 	f.mu.Unlock()
@@ -224,15 +282,20 @@ func (sub *feedSub) next(cancel <-chan struct{}, block bool) (frame []byte, st s
 			f.mu.Unlock()
 			return nil, subClosed, 0
 		}
-		if sub.cursor <= f.seq {
-			if lag := f.seq - sub.cursor; lag >= uint64(len(f.frames)) {
-				// frames (f.seq-len, f.seq] are retained; everything from
+		if sub.cursor == 0 && f.seq != 0 {
+			// The feed primed after this subscriber registered on it empty:
+			// the stream starts at the first frame ever published.
+			sub.cursor = f.first
+		}
+		if sub.cursor != 0 && sub.cursor <= f.seq {
+			if start := f.seq - uint64(len(f.frames)) + 1; sub.cursor < start && f.seq >= uint64(len(f.frames)) {
+				// frames [start, f.seq] are retained; everything from the
 				// cursor up to the window's start was overwritten.
-				missed = f.seq - uint64(len(f.frames)) - sub.cursor + 1
+				missed = start - sub.cursor
 				f.mu.Unlock()
 				return nil, subOverflow, missed
 			}
-			frame = f.frames[int((sub.cursor-1)%uint64(len(f.frames)))]
+			frame = f.frames[int(sub.cursor%uint64(len(f.frames)))]
 			sub.cursor++
 			f.mu.Unlock()
 			return frame, subFrame, 0
@@ -252,9 +315,9 @@ func (sub *feedSub) next(cancel <-chan struct{}, block bool) (frame []byte, st s
 	}
 }
 
-// unsubscribe releases the subscriber's slot. The last subscriber out turns
-// off the light: an empty feed is removed from the hub so publish becomes a
-// declined map lookup again.
+// unsubscribe releases the subscriber's slot. The feed itself stays, frames
+// and all, until its session closes: the retained ring is the resume window
+// for a Last-Event-ID reconnect.
 func (sub *feedSub) unsubscribe() {
 	if sub.done {
 		return
@@ -265,10 +328,6 @@ func (sub *feedSub) unsubscribe() {
 	h.total--
 	f.mu.Lock()
 	f.subs--
-	empty := f.subs == 0
 	f.mu.Unlock()
-	if empty && h.feeds[f.name] == f {
-		delete(h.feeds, f.name)
-	}
 	h.mu.Unlock()
 }

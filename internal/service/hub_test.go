@@ -16,7 +16,7 @@ func TestHubFanoutInOrder(t *testing.T) {
 	h := newSubHub(2*subs, 2*subs, frames+1)
 	handles := make([]*feedSub, subs)
 	for i := range handles {
-		sub, err := h.subscribe("s")
+		sub, _, err := h.subscribe("s", -1)
 		if err != nil {
 			t.Fatalf("subscribe %d: %v", i, err)
 		}
@@ -27,7 +27,7 @@ func TestHubFanoutInOrder(t *testing.T) {
 	}
 	for i := 0; i < frames; i++ {
 		frame := []byte(fmt.Sprintf("frame-%d", i))
-		if !h.publish("s", func() []byte { return frame }) {
+		if !h.publish("s", int64(i)+1, func() []byte { return frame }) {
 			t.Fatalf("publish %d declined with %d subscribers", i, subs)
 		}
 	}
@@ -49,10 +49,26 @@ func TestHubFanoutInOrder(t *testing.T) {
 	if got := h.subscribers(); got != 0 {
 		t.Fatalf("subscribers gauge %d after unsubscribe, want 0", got)
 	}
-	// The last subscriber out removed the feed: publish declines again and
-	// must not run the render closure.
-	if h.publish("s", func() []byte { t.Error("render called with no feed"); return nil }) {
-		t.Fatal("publish accepted with no subscribers")
+	// The feed persists after the last subscriber leaves: it is the resume
+	// window. A frame published now is replayable by a reconnect that names
+	// the last seq it saw.
+	if !h.publish("s", frames+1, func() []byte { return []byte("late") }) {
+		t.Fatal("publish declined on a persistent feed")
+	}
+	sub, ack, err := h.subscribe("s", frames)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ack != frames {
+		t.Fatalf("resume ack %d, want %d (exact resume)", ack, frames)
+	}
+	if frame, st, _ := sub.next(nil, false); st != subFrame || string(frame) != "late" {
+		t.Fatalf("resumed read: status %d frame %q, want the late frame", st, frame)
+	}
+	sub.unsubscribe()
+	// A publish on a session that never had a subscriber still declines.
+	if h.publish("t", 1, func() []byte { t.Error("render called with no feed"); return nil }) {
+		t.Fatal("publish accepted for a never-subscribed session")
 	}
 }
 
@@ -66,7 +82,7 @@ func TestHubConcurrentFanout(t *testing.T) {
 	var wg, drained sync.WaitGroup
 	errCh := make(chan error, subs)
 	for i := 0; i < subs; i++ {
-		sub, err := h.subscribe("s")
+		sub, _, err := h.subscribe("s", -1)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -96,7 +112,7 @@ func TestHubConcurrentFanout(t *testing.T) {
 	}
 	for i := 0; i < frames; i++ {
 		frame := []byte(fmt.Sprintf("f%d", i))
-		h.publish("s", func() []byte { return frame })
+		h.publish("s", int64(i)+1, func() []byte { return frame })
 	}
 	// close discards undelivered frames (a closed session's deltas are
 	// moot), so only close once every subscriber has read the full run.
@@ -115,12 +131,12 @@ func TestHubConcurrentFanout(t *testing.T) {
 func TestHubOverflow(t *testing.T) {
 	const buffer = 4
 	h := newSubHub(8, 8, buffer)
-	sub, err := h.subscribe("s")
+	sub, _, err := h.subscribe("s", -1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < 10; i++ {
-		h.publish("s", func() []byte { return []byte("x") })
+		h.publish("s", int64(i)+1, func() []byte { return []byte("x") })
 	}
 	_, st, missed := sub.next(nil, false)
 	if st != subOverflow {
@@ -134,12 +150,12 @@ func TestHubOverflow(t *testing.T) {
 
 	// Exactly at the bound: a subscriber lagging by the full buffer still
 	// recovers every frame.
-	sub, err = h.subscribe("s")
+	sub, _, err = h.subscribe("s", -1)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < buffer; i++ {
-		h.publish("s", func() []byte { return []byte{byte('0' + i)} })
+		h.publish("s", int64(10+i)+1, func() []byte { return []byte{byte('0' + i)} })
 	}
 	for i := 0; i < buffer; i++ {
 		frame, st, _ := sub.next(nil, false)
@@ -154,18 +170,18 @@ func TestHubOverflow(t *testing.T) {
 // global cap, and the closed hub.
 func TestHubAdmission(t *testing.T) {
 	h := newSubHub(2, 1, 4)
-	a, err := h.subscribe("a")
+	a, _, err := h.subscribe("a", -1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := h.subscribe("a"); !errors.Is(err, errSessionFull) {
+	if _, _, err := h.subscribe("a", -1); !errors.Is(err, errSessionFull) {
 		t.Fatalf("second same-session subscribe: %v, want errSessionFull", err)
 	}
-	b, err := h.subscribe("b")
+	b, _, err := h.subscribe("b", -1)
 	if err != nil {
 		t.Fatalf("other-session subscribe under global cap: %v", err)
 	}
-	if _, err := h.subscribe("c"); !errors.Is(err, errHubFull) {
+	if _, _, err := h.subscribe("c", -1); !errors.Is(err, errHubFull) {
 		t.Fatalf("subscribe over global cap: %v, want errHubFull", err)
 	}
 	a.unsubscribe()
@@ -174,7 +190,7 @@ func TestHubAdmission(t *testing.T) {
 		t.Fatalf("subscribers gauge %d, want 1", got)
 	}
 	h.close()
-	if _, err := h.subscribe("a"); !errors.Is(err, errHubClosed) {
+	if _, _, err := h.subscribe("a", -1); !errors.Is(err, errHubClosed) {
 		t.Fatalf("subscribe after close: %v, want errHubClosed", err)
 	}
 	// b's feed closed with the hub: the blocked read observes it.
@@ -189,7 +205,7 @@ func TestHubAdmission(t *testing.T) {
 // wake with subClosed, not hang.
 func TestHubCloseFeedWakesBlocked(t *testing.T) {
 	h := newSubHub(4, 4, 4)
-	sub, err := h.subscribe("s")
+	sub, _, err := h.subscribe("s", -1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,11 +219,11 @@ func TestHubCloseFeedWakesBlocked(t *testing.T) {
 		t.Fatalf("status %d, want subClosed", st)
 	}
 	// The name is free again: a new feed under the same session works.
-	sub2, err := h.subscribe("s")
+	sub2, _, err := h.subscribe("s", -1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !h.publish("s", func() []byte { return []byte("y") }) {
+	if !h.publish("s", 1, func() []byte { return []byte("y") }) {
 		t.Fatal("publish declined on recreated feed")
 	}
 	if frame, st, _ := sub2.next(nil, false); st != subFrame || string(frame) != "y" {
@@ -221,7 +237,7 @@ func TestHubCloseFeedWakesBlocked(t *testing.T) {
 // parked subscriber with subCanceled.
 func TestHubCancelWakesBlocked(t *testing.T) {
 	h := newSubHub(4, 4, 4)
-	sub, err := h.subscribe("s")
+	sub, _, err := h.subscribe("s", -1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -74,7 +74,25 @@ type Config struct {
 	SessionSubscribers int
 	// FeedBuffer is each feed's delta backlog in frames (default 256): how
 	// far a subscriber may lag before it is dropped with an overflow event.
+	// It is also the Last-Event-ID resume window: a reconnect within this
+	// many commits replays the gap exactly.
 	FeedBuffer int
+	// WALDir, when set, makes dynamic sessions durable: every committed
+	// mutation appends to a per-session write-ahead log under this
+	// directory, and a session whose log exists is rebuilt from it — on
+	// restart, after eviction, even when the create request carries no base
+	// spec. Empty disables durability (sessions are memory-only, as before).
+	WALDir string
+	// WALSync fsyncs the session log on every commit (survive power loss,
+	// not just process death) at a large per-mutation latency cost.
+	WALSync bool
+	// RemoteFill, when set, is consulted on a result-cache miss before
+	// computing locally: given the request's graph name and canonical cache
+	// key, it may return the encoded cache record from a peer that already
+	// has it (cluster.Filler does, from the key's rendezvous owner). Invalid
+	// or nil returns fall through to local computation — the fill is an
+	// optimization, never a correctness dependency.
+	RemoteFill func(graphName, key string) []byte
 }
 
 func (c Config) withDefaults() Config {
@@ -162,14 +180,22 @@ type ServiceStats struct {
 	// Delivered, and Dropped are the monotone feed counters (accepted
 	// subscriptions, delta frames written, subscribers dropped by
 	// overflow).
-	Subscribers int64             `json:"subscribers"`
-	Subscribes  int64             `json:"subscribes"`
-	Delivered   int64             `json:"delivered"`
-	Dropped     int64             `json:"dropped"`
-	Cache       CacheStats        `json:"cache"`
-	Fast        CacheStats        `json:"fastCache"`
-	Pools       []PoolSnapshot    `json:"pools"`
-	Sessions    []SessionSnapshot `json:"sessions"`
+	Subscribers int64 `json:"subscribers"`
+	Subscribes  int64 `json:"subscribes"`
+	Delivered   int64 `json:"delivered"`
+	Dropped     int64 `json:"dropped"`
+	// The cluster/durability plane: Replayed counts WAL records replayed
+	// into recovered sessions, WALAppends/WALErrors the per-commit log
+	// appends and failures, Filled the result-cache misses satisfied by a
+	// peer's cache instead of a local run.
+	Replayed   int64             `json:"replayed,omitempty"`
+	WALAppends int64             `json:"walAppends,omitempty"`
+	WALErrors  int64             `json:"walErrors,omitempty"`
+	Filled     int64             `json:"filled,omitempty"`
+	Cache      CacheStats        `json:"cache"`
+	Fast       CacheStats        `json:"fastCache"`
+	Pools      []PoolSnapshot    `json:"pools"`
+	Sessions   []SessionSnapshot `json:"sessions"`
 }
 
 // Service is the coloring service. Create with New, serve with Handle or
@@ -417,6 +443,20 @@ func (s *Service) exec(f *flight) {
 	// cache miss and this execution; determinism makes recomputing merely
 	// wasteful, so look once more before running.
 	v, ok := s.cache.getHash(f.c.key, f.c.hash)
+	if !ok && s.cfg.RemoteFill != nil {
+		// Cross-node fill: a miss here may be a hit in the key's rendezvous
+		// owner's cache. Determinism makes a fetched record as good as a
+		// local run — same key, same bytes — and the decode guard means a
+		// corrupt or impostor response degrades to computing, never to
+		// serving bad bytes.
+		if raw := s.cfg.RemoteFill(f.c.req.Graph.String(), f.c.key); raw != nil {
+			if _, err := decodeRecord(raw); err == nil {
+				s.counters.stripe(f.c.hash).filled.Add(1)
+				v = s.cache.putHash(f.c.key, f.c.hash, newCacheValue(f.c.key, raw))
+				ok = true
+			}
+		}
+	}
 	if !ok {
 		s.counters.stripe(f.c.hash).runs.Add(1)
 		rec, err := f.c.runner(f.c)
@@ -425,10 +465,10 @@ func (s *Service) exec(f *flight) {
 			return
 		}
 		v = s.cache.putHash(f.c.key, f.c.hash, newCacheValue(f.c.key, rec.encode()))
-		if _, err := v.bodyFor(f.c.req.Graph.String()); err != nil {
-			s.fail(f, err)
-			return
-		}
+	}
+	if _, err := v.bodyFor(f.c.req.Graph.String()); err != nil {
+		s.fail(f, err)
+		return
 	}
 	s.mu.Lock()
 	delete(s.inflight, f.c.key)
@@ -452,6 +492,18 @@ func (s *Service) fail(f *flight, err error) {
 	}
 }
 
+// CachedRecord returns the encoded cache record under key, if the result
+// cache holds it. It never computes — this is the peer-fill read side
+// (GET /internal/record): a peer asking "do you already have this?" must
+// not be able to make this node do work.
+func (s *Service) CachedRecord(key string) ([]byte, bool) {
+	v, ok := s.cache.get(key)
+	if !ok {
+		return nil, false
+	}
+	return v.rec, true
+}
+
 // Stats snapshots the service counters, caches, and per-graph runner pools.
 func (s *Service) Stats() ServiceStats {
 	t := s.counters.totals()
@@ -470,6 +522,10 @@ func (s *Service) Stats() ServiceStats {
 		Subscribes:  t.subscribes,
 		Delivered:   t.delivered,
 		Dropped:     t.dropped,
+		Replayed:    t.replayed,
+		WALAppends:  t.walAppends,
+		WALErrors:   t.walErrors,
+		Filled:      t.filled,
 		Cache:       s.cache.snapshot(),
 		Fast:        s.fast.snapshot(),
 		Pools:       s.graphs.snapshot(),

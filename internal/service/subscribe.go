@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"time"
 
 	"repro/internal/dynamic"
@@ -30,11 +31,18 @@ import (
 // fan-out.
 
 // HelloEvent opens every subscription: the session's shape at registration.
-// Seq is the session's committed-mutation count at that instant; every
-// subsequent delta carries Seq greater than this (the subscriber's cursor
-// starts at registration, and hello is rendered after the cursor is placed,
-// so a delta racing the handshake is delivered too, never lost — at worst
-// hello already reflects it).
+// Seq is the seq the delta stream continues from — every subsequent delta
+// carries Seq greater than this, the first exactly Seq+1 (the subscriber's
+// cursor is placed before hello is rendered, so a delta racing the handshake
+// is delivered too, never lost — at worst hello already reflects it).
+//
+// On a fresh subscription Seq is the session's committed-mutation count at
+// registration. On a reconnect with Last-Event-ID, Resumed reports whether
+// the stream picks up exactly where the client left off (Seq equals the
+// client's last id, deltas continue with no gap); when the requested
+// position is no longer retained, Resumed is false and Missed counts the
+// deltas that are gone for good — the client must resync its mirror (re-read
+// the full coloring) before trusting subsequent deltas.
 type HelloEvent struct {
 	Session     string `json:"session"`
 	Seq         int64  `json:"seq"`
@@ -42,6 +50,9 @@ type HelloEvent struct {
 	N           int    `json:"n"`
 	M           int    `json:"m"`
 	Delta       int    `json:"delta"`
+	// Resumed / Missed appear only on Last-Event-ID reconnects.
+	Resumed bool   `json:"resumed,omitempty"`
+	Missed  uint64 `json:"missed,omitempty"`
 }
 
 // DeltaEvent is one committed mutation's recolor delta: the op, the exact
@@ -118,12 +129,30 @@ func deltaFrameBytes(session string, ev dynamic.CommitEvent) []byte {
 // the global subscriber cap and the per-session quota must have room (429).
 // The stream then runs until the client disconnects, the subscriber
 // overflows, or the session ends.
+//
+// A reconnecting client sends the standard SSE Last-Event-ID header (the id
+// of the last delta it processed — exactly what this stream's id: lines
+// carry). The subscription then resumes from the hub's retained ring when
+// the requested position is still there; otherwise the hello frame reports
+// the irrecoverable gap in Missed so the client knows to resync. After a
+// server restart the ring starts empty but the session's seq continues from
+// the WAL replay, so the gap arithmetic stays exact across crashes.
 func (s *Service) serveSubscribe(w http.ResponseWriter, r *http.Request) {
 	name := r.URL.Query().Get("session")
 	if name == "" {
 		s.counters.stripe(0).badRequests.Add(1)
 		httpError(w, http.StatusBadRequest, "subscribe needs a ?session=NAME query parameter")
 		return
+	}
+	from := int64(-1)
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		id, err := strconv.ParseInt(v, 10, 64)
+		if err != nil || id < 0 {
+			s.counters.stripe(0).badRequests.Add(1)
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("Last-Event-ID %q is not a delta seq", v))
+			return
+		}
+		from = id
 	}
 	ctr := s.counters.stripe(cacheHashString(name))
 	sess := s.sessions.lookup(name)
@@ -140,7 +169,7 @@ func (s *Service) serveSubscribe(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "response writer cannot stream")
 		return
 	}
-	sub, err := s.hub.subscribe(name)
+	sub, ack, err := s.hub.subscribe(name, from)
 	if err != nil {
 		status := http.StatusTooManyRequests
 		if errors.Is(err, errHubClosed) {
@@ -160,14 +189,36 @@ func (s *Service) serveSubscribe(w http.ResponseWriter, r *http.Request) {
 	// The cursor was placed by subscribe, so the hello snapshot read here
 	// can only be at or ahead of it: no delta is lost in the handshake.
 	fp, n, m, delta, seq := mt.StreamState()
-	hello := sseFrame(-1, "hello", HelloEvent{
+	ev := HelloEvent{
 		Session:     name,
 		Seq:         seq,
 		Fingerprint: fp.String(),
 		N:           n,
 		M:           m,
 		Delta:       delta,
-	})
+	}
+	if from >= 0 {
+		switch {
+		case ack >= 0:
+			// The ring serves the stream from ack+1 on; commits (from, ack]
+			// rotated out (none, when ack == from — an exact resume).
+			ev.Seq = ack
+			ev.Missed = uint64(ack - from)
+			ev.Resumed = ev.Missed == 0
+		case from <= seq:
+			// No ring history (feed empty — e.g. the process restarted and
+			// replayed the session from its WAL). The stream continues from
+			// the session's current seq; everything between the client's
+			// last id and now is gone.
+			ev.Missed = uint64(seq - from)
+			ev.Resumed = ev.Missed == 0
+		default:
+			// The client claims a seq this session has not reached — a
+			// different incarnation (recreated without its WAL). Not
+			// resumable; the hello's state is the truth to resync to.
+		}
+	}
+	hello := sseFrame(-1, "hello", ev)
 	if _, err := w.Write(hello); err != nil {
 		return
 	}

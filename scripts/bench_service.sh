@@ -26,6 +26,12 @@
 # running it hot on the heels of the medium mix cost it ~15% throughput on a
 # 1-CPU box.
 #
+# Two cluster lines extend the small coloring mix across in-process 2- and
+# 3-node fleets behind a colorgate (the scaling curve: req/s at nodes=1,2,3
+# share the mix=small workload), and the BenchmarkWALReplay microbenchmark
+# tracks crash-recovery speed (recovery-ns: wall clock to rebuild a session
+# from its write-ahead log; replay-muts/s).
+#
 # Usage:
 #   scripts/bench_service.sh                  # full run, writes BENCH_service.json
 #   DURATION=300ms BENCHTIME=1x scripts/bench_service.sh  # quick smoke (CI)
@@ -58,8 +64,16 @@ sleep "$SETTLE"
 sleep "$SETTLE"
 "$BINDIR/loadgen" -bench -mode subscribe -duration "$DURATION" -subs "$SUBS" -rate "$RATE" -batch 4 -mix small | tee -a "$TXT"
 sleep "$SETTLE"
+# The scaling curve: the same small mix against 2- and 3-node in-process
+# clusters routed through colorgate (nodes=1 is the first line above).
+"$BINDIR/loadgen" -bench -duration "$DURATION" -clients "$CLIENTS" -mix small -seeds 8 -cluster 2 ${ENGINE:+-engine "$ENGINE"} | tee -a "$TXT"
+sleep "$SETTLE"
+"$BINDIR/loadgen" -bench -duration "$DURATION" -clients "$CLIENTS" -mix small -seeds 8 -cluster 3 ${ENGINE:+-engine "$ENGINE"} | tee -a "$TXT"
+sleep "$SETTLE"
 # -cpu 1 keeps the benchmark name free of the GOMAXPROCS suffix, so the
 # baseline key is stable across differently-sized machines.
 go test -run '^$' -bench '^BenchmarkHitPath$' -cpu 1 -benchtime "$BENCHTIME" -benchmem ./internal/service | tee -a "$TXT"
+# Recovery time: rebuild a mutated session from its WAL (recovery-ns).
+go test -run '^$' -bench '^BenchmarkWALReplay$' -cpu 1 -benchtime "$BENCHTIME" ./internal/dynamic | tee -a "$TXT"
 go run ./cmd/benchjson < "$TXT" > "$OUT"
 echo "wrote $OUT" >&2

@@ -2,7 +2,7 @@
 # cover.sh — coverage gate for the service-critical packages.
 #
 # Gates total statement coverage of internal/service + internal/dist +
-# internal/dynamic (including the compiled-engine files dist/compiled.go and
+# internal/dynamic + internal/wal + internal/cluster (including the compiled-engine files dist/compiled.go and
 # dynamic/compiled.go), the compiled hot paths of internal/baseline
 # (compiled.go), plus the mutated-graph paths of internal/graph
 # (overlay.go — the churn substrate) against a floor: the layers a
@@ -27,16 +27,16 @@ if [ $# -ge 1 ]; then
 else
   PROFILE_TMP="$(mktemp)"
   PROFILE="$PROFILE_TMP"
-  go test -coverprofile="$PROFILE" ./internal/service ./internal/dist ./internal/dynamic ./internal/graph ./internal/baseline
+  go test -coverprofile="$PROFILE" ./internal/service ./internal/dist ./internal/dynamic ./internal/wal ./internal/cluster ./internal/graph ./internal/baseline
 fi
 
 # Keep the mode header plus only the gated packages' lines (and, from
 # internal/graph and internal/baseline, only the mutable-overlay and
 # compiled-hot-path files), so a whole-repo profile gates the same statements
 # as a dedicated run.
-awk 'NR==1 || $0 ~ /^repro\/internal\/(service|dist|dynamic)\// || $0 ~ /^repro\/internal\/graph\/overlay\.go/ || $0 ~ /^repro\/internal\/baseline\/compiled\.go/' "$PROFILE" > "$FILTERED"
+awk 'NR==1 || $0 ~ /^repro\/internal\/(service|dist|dynamic|wal|cluster)\// || $0 ~ /^repro\/internal\/graph\/overlay\.go/ || $0 ~ /^repro\/internal\/baseline\/compiled\.go/' "$PROFILE" > "$FILTERED"
 TOTAL="$(go tool cover -func="$FILTERED" | awk '/^total:/ {gsub(/%/, "", $3); print $3}')"
-echo "service+dist+dynamic+graph/overlay+baseline/compiled coverage: ${TOTAL}% (floor ${FLOOR}%)"
+echo "service+dist+dynamic+wal+cluster+graph/overlay+baseline/compiled coverage: ${TOTAL}% (floor ${FLOOR}%)"
 awk -v total="$TOTAL" -v floor="$FLOOR" 'BEGIN { exit (total + 0 < floor + 0) ? 1 : 0 }' || {
   echo "coverage ${TOTAL}% is under the ${FLOOR}% floor" >&2
   exit 1
