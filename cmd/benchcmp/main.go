@@ -85,6 +85,9 @@ func run(args []string) error {
 			{metric: "req/s"},
 			{metric: "B/op", upIsBad: true, floor: 512},
 			{metric: "allocs/op", upIsBad: true, floor: 4},
+			// The measured palette is deterministic — a change is an
+			// algorithm change, not noise, so it gates exactly.
+			{metric: "colors-used", exact: true},
 		}
 	case "runtime":
 		gates = []gate{{metric: "ns/op", upIsBad: true}}

@@ -13,12 +13,9 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/baseline"
-	"repro/internal/core"
+	"repro/internal/algreg"
 	"repro/internal/dist"
-	"repro/internal/edgecolor"
 	"repro/internal/graph"
-	"repro/internal/panconesi"
 )
 
 func main() {
@@ -36,7 +33,7 @@ func run(args []string) error {
 		m      = fs.Int("m", 1024, "number of edges (gnm)")
 		deg    = fs.Int("deg", 8, "degree (regular) / k (fig1)")
 		seed   = fs.Int64("seed", 1, "generator and algorithm seed")
-		alg    = fs.String("alg", "be", "algorithm: be|pr|greedy|rand|tradeoff|cor62")
+		alg    = fs.String("alg", "be", "algorithm: "+algreg.HelpList("edge"))
 		bFlag  = fs.Int("b", 2, "Algorithm 1 parameter b")
 		pFlag  = fs.Int("p", 6, "Algorithm 1 parameter p")
 		mode   = fs.String("mode", "wide", "message mode: wide|short")
@@ -56,41 +53,19 @@ func run(args []string) error {
 		return err
 	}
 	opts := []dist.Option{dist.WithSeed(*seed), dist.WithEngine(eng)}
-	msgMode := edgecolor.Wide
-	if *mode == "short" {
-		msgMode = edgecolor.Short
-	}
 	fmt.Printf("graph: %v\n", g)
 
-	var (
-		ports *dist.Result[[]int]
-	)
-	switch *alg {
-	case "be":
-		pl, err := core.AutoPlan(g.MaxDegree(), 2, *bFlag, *pFlag, true)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("plan:  %v\n", pl)
-		ports, err = edgecolor.LegalEdgeColoring(g, pl, msgMode, opts...)
-		if err != nil {
-			return err
-		}
-	case "pr":
-		ports, err = panconesi.EdgeColoring(g, opts...)
-	case "greedy":
-		ports, err = baseline.GreedyEdgeColoring(g, opts...)
-	case "rand":
-		ports, err = baseline.RandomizedTrialEdgeColoring(g, opts...)
-	case "tradeoff":
-		ports, err = edgecolor.TradeoffEdgeColoring(g, *bFlag, *pFlag, g.MaxDegree()/2, msgMode, opts...)
-	case "cor62":
-		ports, err = edgecolor.RandomizedEdgeColoring(g, *bFlag, *pFlag, 8, msgMode, opts...)
-	default:
+	entry, ok := algreg.Lookup("edge", *alg)
+	if !ok || entry.RunEdge == nil {
 		return fmt.Errorf("unknown algorithm %q", *alg)
 	}
+	params := algreg.Params{B: *bFlag, P: *pFlag, Mode: *mode, Seed: *seed}
+	ports, notes, err := entry.RunEdge(g, params, opts...)
 	if err != nil {
 		return err
+	}
+	for _, note := range notes {
+		fmt.Println(note)
 	}
 	colors, err := graph.MergePortColors(g, ports.Outputs)
 	if err != nil {

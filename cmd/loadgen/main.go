@@ -98,8 +98,22 @@ func mixes(name string) ([]service.Request, error) {
 			tmpl("vertex", "be", exp.GraphSpec{Family: "linegraph", N: 24, M: 70, Seed: 5}),
 			tmpl("vertex", "greedy", exp.GraphSpec{Family: "geometric", N: 160, Seed: 6}),
 		}, nil
+	case "fewcolors":
+		// The quality-knob workload: the small mix's families asked for the
+		// fewcolors tier (palette near Δ, more rounds per miss), plus one
+		// fast-tier template for contrast. The colors-used report metric is
+		// the mean measured palette over these templates.
+		q := func(spec exp.GraphSpec) service.Request {
+			return service.Request{Kind: "edge", Quality: "fewcolors", Graph: spec}
+		}
+		return []service.Request{
+			q(exp.GraphSpec{Family: "gnm", N: 64, M: 192, Seed: 1}),
+			q(exp.GraphSpec{Family: "regular", N: 48, Deg: 4, Seed: 2}),
+			q(exp.GraphSpec{Family: "geometric", N: 96, Seed: 3}),
+			tmpl("edge", "pr", exp.GraphSpec{Family: "gnm", N: 64, M: 192, Seed: 1}),
+		}, nil
 	default:
-		return nil, fmt.Errorf("unknown mix %q (want small or medium)", name)
+		return nil, fmt.Errorf("unknown mix %q (want small, medium, or fewcolors)", name)
 	}
 }
 
@@ -268,7 +282,7 @@ func run(args []string) error {
 		dAlias   = fs.Duration("d", 5*time.Second, "alias for -duration")
 		clients  = fs.Int("clients", 8, "concurrent closed-loop clients")
 		mode     = fs.String("mode", "color", "workload mode: color|churn|subscribe")
-		mixName  = fs.String("mix", "small", "workload mix: small|medium")
+		mixName  = fs.String("mix", "small", "workload mix: small|medium|fewcolors (fewcolors: color mode only)")
 		seeds    = fs.Int("seeds", 8, "distinct algorithm seeds per template (controls the miss rate; color mode)")
 		batch    = fs.Int("batch", 16, "mutations per request (churn and subscribe modes)")
 		subs     = fs.Int("subs", 200, "concurrent SSE subscribers (subscribe mode)")
@@ -492,6 +506,30 @@ func run(args []string) error {
 	if total.requests == 0 {
 		return fmt.Errorf("no requests completed within %v", *duration)
 	}
+	// Palette probe: one ?detail=1 request per workload template, off the
+	// clock (the measured window is over). Results are deterministic and the
+	// templates were served all window, so these are cache hits reporting the
+	// measured palette; the mean over templates is the workload's
+	// colors-used figure — the quality metric the fewcolors mix exists for.
+	var colorsUsedSum int64
+	for _, t := range templates {
+		b, err := json.Marshal(t)
+		if err != nil {
+			return err
+		}
+		resp, err := client.Post(url+"?detail=1", "application/json", bytes.NewReader(b))
+		if err != nil {
+			return fmt.Errorf("palette probe: %w", err)
+		}
+		var d service.DetailResponse
+		err = json.NewDecoder(resp.Body).Decode(&d)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("palette probe: %w", err)
+		}
+		colorsUsedSum += int64(d.ColorsUsed)
+	}
+	meanColors := float64(colorsUsedSum) / float64(len(templates))
 	sort.Slice(total.latencies, func(i, j int) bool { return total.latencies[i] < total.latencies[j] })
 	pct := func(p float64) time.Duration {
 		idx := int(p * float64(len(total.latencies)-1))
@@ -511,12 +549,12 @@ func run(args []string) error {
 		// go test -bench format: benchjson turns the (value, unit) pairs
 		// into BENCH_service.json metrics.
 		fmt.Printf("goos: %s\ngoarch: %s\n", runtime.GOOS, runtime.GOARCH)
-		fmt.Printf("BenchmarkColord/mix=%s/clients=%d/seeds=%d%s \t%8d\t%12d ns/op\t%10d B/op\t%8d allocs/op\t%12d p50-ns\t%12d p99-ns\t%12d max-ns\t%10.1f req/s\t%8.4f hit-rate\t%8.4f coalesce-rate\n",
+		fmt.Printf("BenchmarkColord/mix=%s/clients=%d/seeds=%d%s \t%8d\t%12d ns/op\t%10d B/op\t%8d allocs/op\t%12d p50-ns\t%12d p99-ns\t%12d max-ns\t%10.1f req/s\t%8.4f hit-rate\t%8.4f coalesce-rate\t%10.2f colors-used\n",
 			*mixName, *clients, *seeds, nodesSuffix(*nodes), total.requests, avg.Nanoseconds(),
 			bytesPerOp, allocsPerOp,
 			pct(0.50).Nanoseconds(), pct(0.99).Nanoseconds(),
 			total.latencies[len(total.latencies)-1].Nanoseconds(),
-			rps, hitRate, float64(total.coalesced)/float64(total.requests))
+			rps, hitRate, float64(total.coalesced)/float64(total.requests), meanColors)
 		return nil
 	}
 	fmt.Printf("mix=%s clients=%d seeds=%d duration=%v driver=%s\n", *mixName, *clients, *seeds, *duration, *driver)
@@ -525,6 +563,7 @@ func run(args []string) error {
 	fmt.Printf("alloc: %d B/op, %d allocs/op (process-wide: clients plus the in-process server)\n", bytesPerOp, allocsPerOp)
 	fmt.Printf("cache: %d hits (%.1f%%), %d coalesced, %d misses\n",
 		total.hits, 100*hitRate, total.coalesced, total.misses)
+	fmt.Printf("colors: mean colorsUsed=%.2f over %d templates (seed 0, ?detail=1)\n", meanColors, len(templates))
 	return nil
 }
 

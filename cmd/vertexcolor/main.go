@@ -14,8 +14,7 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/baseline"
-	"repro/internal/core"
+	"repro/internal/algreg"
 	"repro/internal/dist"
 	"repro/internal/graph"
 )
@@ -36,7 +35,7 @@ func run(args []string) error {
 		k      = fs.Int("k", 6, "power for powercycle, clique size for fig1")
 		r      = fs.Int("r", 3, "hypergraph rank")
 		seed   = fs.Int64("seed", 1, "generator and algorithm seed")
-		alg    = fs.String("alg", "legal", "algorithm: legal|legalaux|defective|tradeoff|randomized|greedy")
+		alg    = fs.String("alg", "legal", "algorithm: "+algreg.HelpList("vertex"))
 		bFlag  = fs.Int("b", 2, "Algorithm 1 parameter b")
 		pFlag  = fs.Int("p", 0, "Algorithm 1 parameter p (0 = auto: 4c+1)")
 		engine = fs.String("engine", "goroutines", "dist scheduler: goroutines|lockstep|sharded|compiled")
@@ -59,54 +58,21 @@ func run(args []string) error {
 		p = 4*c + 1
 	}
 
-	var res *dist.Result[int]
-	switch *alg {
-	case "legal", "legalaux":
-		pl, err := core.AutoPlan(g.MaxDegree(), c, *bFlag, p, false)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("plan:  %v\n", pl)
-		mode := core.StartIDs
-		if *alg == "legalaux" {
-			mode = core.StartAux
-		}
-		res, err = core.LegalColoring(g, pl, mode, opts...)
-		if err != nil {
-			return err
-		}
-	case "defective":
-		res, err = core.DefectiveColoring(g, c, *bFlag, p, opts...)
-		if err != nil {
-			return err
-		}
-		bound := core.DefectiveColoringBound(g.MaxDegree(), c, *bFlag, p)
-		defect := graph.VertexDefect(g, res.Outputs)
-		fmt.Printf("defective %d-coloring: defect %d (bound %d), product defect·p = %d vs Δ = %d\n",
-			p, defect, bound, defect*p, g.MaxDegree())
-		fmt.Printf("cost: %v\n", res.Stats)
-		return nil
-	case "tradeoff":
-		classDeg := g.MaxDegree() / 2
-		if classDeg < 2 {
-			classDeg = g.MaxDegree()
-		}
-		res, err = core.TradeoffColoring(g, c, *bFlag, p, classDeg, opts...)
-		if err != nil {
-			return err
-		}
-	case "randomized":
-		res, err = core.RandomizedColoring(g, c, *bFlag, p, 8, opts...)
-		if err != nil {
-			return err
-		}
-	case "greedy":
-		res, err = baseline.GreedyVertexColoring(g, opts...)
-		if err != nil {
-			return err
-		}
-	default:
+	entry, ok := algreg.Lookup("vertex", *alg)
+	if !ok || entry.RunVertex == nil {
 		return fmt.Errorf("unknown algorithm %q", *alg)
+	}
+	res, notes, err := entry.RunVertex(g, algreg.Params{B: *bFlag, P: p, C: c, Seed: *seed}, opts...)
+	if err != nil {
+		return err
+	}
+	for _, note := range notes {
+		fmt.Println(note)
+	}
+	if entry.NoFooter {
+		// The algorithm's output is not a proper coloring (defective tiers);
+		// its notes carry the full report.
+		return nil
 	}
 	if err := graph.CheckVertexColoring(g, res.Outputs); err != nil {
 		return fmt.Errorf("result is not a legal coloring: %w", err)

@@ -1,0 +1,132 @@
+package algreg_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/algreg"
+	"repro/internal/exp"
+)
+
+// TestRegistryRoundTrip: every registered algorithm is reachable back through
+// the public lookup surface — Lookup by (kind, name), Resolve by (kind, name,
+// quality) for servable entries, and the generated help — and the servable
+// indices form a dense, stable enumeration.
+func TestRegistryRoundTrip(t *testing.T) {
+	all := algreg.All()
+	if len(all) == 0 {
+		t.Fatal("registry is empty")
+	}
+	for _, a := range all {
+		got, ok := algreg.Lookup(a.Kind, a.Name)
+		if !ok || got != a {
+			t.Fatalf("Lookup(%s, %s) = %v, %v; want the registered entry", a.Kind, a.Name, got, ok)
+		}
+		if a.Servable() {
+			r, err := algreg.Resolve(a.Kind, a.Name, a.Quality)
+			if err != nil || r != a {
+				t.Fatalf("Resolve(%s, %s, %s) = %v, %v", a.Kind, a.Name, a.Quality, r, err)
+			}
+			// Resolving by name alone is the back-compat path.
+			if r, err = algreg.Resolve(a.Kind, a.Name, ""); err != nil || r != a {
+				t.Fatalf("Resolve(%s, %s, \"\") = %v, %v", a.Kind, a.Name, r, err)
+			}
+		} else if _, err := algreg.Resolve(a.Kind, a.Name, ""); err == nil {
+			t.Fatalf("CLI-only %s/%s must not resolve for serving", a.Kind, a.Name)
+		}
+		hasRun := a.RunEdge != nil || a.RunVertex != nil
+		if inHelp := strings.Contains("|"+algreg.HelpList(a.Kind)+"|", "|"+a.Name+"|"); inHelp != hasRun {
+			t.Fatalf("%s/%s: in help %v, has CLI hook %v", a.Kind, a.Name, inHelp, hasRun)
+		}
+	}
+}
+
+func TestServableIndices(t *testing.T) {
+	servable := algreg.Servable()
+	if len(servable) == 0 || len(servable) > algreg.MaxServable {
+		t.Fatalf("%d servable entries, cap %d", len(servable), algreg.MaxServable)
+	}
+	for i, a := range servable {
+		if a.ServeIndex() != i {
+			t.Fatalf("%s/%s at position %d has ServeIndex %d", a.Kind, a.Name, i, a.ServeIndex())
+		}
+		if a.Quality != algreg.QualityFast && a.Quality != algreg.QualityFewColors {
+			t.Fatalf("servable %s/%s has quality %q", a.Kind, a.Name, a.Quality)
+		}
+	}
+}
+
+// TestResolveQualityKnob pins the quality-knob contract: empty alg plus a
+// quality picks that tier's first servable entry of the kind; mismatched
+// (alg, quality) pairs and unknown tiers are errors; both empty is the
+// historical unknown-algorithm error.
+func TestResolveQualityKnob(t *testing.T) {
+	a, err := algreg.Resolve("edge", "", algreg.QualityFewColors)
+	if err != nil || a.Name != "fewcolors" {
+		t.Fatalf("edge fewcolors default = %v, %v", a, err)
+	}
+	a, err = algreg.Resolve("edge", "", algreg.QualityFast)
+	if err != nil || a.Name != "be" {
+		t.Fatalf("edge fast default = %v, %v", a, err)
+	}
+	a, err = algreg.Resolve("vertex", "", algreg.QualityFast)
+	if err != nil || a.Name != "be" {
+		t.Fatalf("vertex fast default = %v, %v", a, err)
+	}
+	for _, bad := range []struct{ kind, name, quality string }{
+		{"edge", "", ""},
+		{"edge", "nope", ""},
+		{"edge", "rand", ""},                      // CLI-only
+		{"edge", "be", algreg.QualityFewColors},   // tier mismatch
+		{"edge", "fewcolors", algreg.QualityFast}, // tier mismatch
+		{"edge", "", "best"},                      // unknown tier
+		{"vertex", "", algreg.QualityFewColors},   // no vertex fewcolors tier yet
+		{"vertex", "fewcolors", ""},               // not registered
+	} {
+		if _, err := algreg.Resolve(bad.kind, bad.name, bad.quality); err == nil {
+			t.Fatalf("Resolve(%s, %q, %q): want error", bad.kind, bad.name, bad.quality)
+		}
+	}
+}
+
+// TestServableBuild: every servable entry builds a runnable algorithm with a
+// positive palette bound on a small graph, after Canon fills its defaults —
+// the registry contract the service relies on.
+func TestServableBuild(t *testing.T) {
+	g, err := (exp.GraphSpec{Family: "gnm", N: 30, M: 80, Seed: 1}).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range algreg.Servable() {
+		p := algreg.Params{B: 2, C: 2, Mode: "wide"}
+		if a.Kind == "edge" {
+			p.C = 0
+		}
+		if err := a.Canon(&p); err != nil {
+			t.Fatalf("%s/%s: Canon: %v", a.Kind, a.Name, err)
+		}
+		var palette int
+		if a.Kind == "edge" {
+			algo, pal, err := a.BuildEdge(g, p)
+			if err != nil {
+				t.Fatalf("%s/%s: BuildEdge: %v", a.Kind, a.Name, err)
+			}
+			if algo.Vertex == nil || algo.Compiled == nil {
+				t.Fatalf("%s/%s: algo missing a form (vertex %v, compiled %v)", a.Kind, a.Name, algo.Vertex != nil, algo.Compiled != nil)
+			}
+			palette = pal
+		} else {
+			algo, pal, err := a.BuildVertex(g, p)
+			if err != nil {
+				t.Fatalf("%s/%s: BuildVertex: %v", a.Kind, a.Name, err)
+			}
+			if algo.Vertex == nil || algo.Compiled == nil {
+				t.Fatalf("%s/%s: algo missing a form", a.Kind, a.Name)
+			}
+			palette = pal
+		}
+		if palette <= 0 {
+			t.Fatalf("%s/%s: palette bound %d on a non-empty graph", a.Kind, a.Name, palette)
+		}
+	}
+}

@@ -1,0 +1,248 @@
+package algreg
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/dist"
+	"repro/internal/edgecolor"
+	"repro/internal/fewcolors"
+	"repro/internal/graph"
+	"repro/internal/panconesi"
+)
+
+// msgMode mirrors the CLIs' historical leniency: anything but "short" is
+// wide. The servable Canon hooks validate strictly before this is reached.
+func msgMode(mode string) edgecolor.MsgMode {
+	if mode == "short" {
+		return edgecolor.Short
+	}
+	return edgecolor.Wide
+}
+
+// zeroPlan cancels the plan parameters an algorithm ignores, keeping its
+// cache keys canonical across differently-phrased requests.
+func zeroPlan(p *Params) error {
+	p.Mode, p.P, p.B = "", 0, 0
+	return nil
+}
+
+func init() {
+	Register(Algorithm{
+		Kind: "edge", Name: "be", Quality: QualityFast,
+		Summary: "the paper's §5 legal edge coloring (plan-driven, O(Δ^ε)-ish rounds)",
+		Canon: func(p *Params) error {
+			if p.P == 0 {
+				p.P = 6
+			}
+			if p.Mode != "wide" && p.Mode != "short" {
+				return fmt.Errorf("unknown mode %q (want wide or short)", p.Mode)
+			}
+			return nil
+		},
+		BuildEdge: func(g *graph.Graph, p Params) (dist.Algo[[]int], int, error) {
+			pl, err := core.AutoPlan(g.MaxDegree(), 2, p.B, p.P, true)
+			if err != nil {
+				return dist.Algo[[]int]{}, 0, err
+			}
+			algo, err := edgecolor.LegalEdgeProcess(g.MaxDegree(), pl, msgMode(p.Mode))
+			if err != nil {
+				return dist.Algo[[]int]{}, 0, err
+			}
+			return dist.Interpret(algo), pl.TotalPalette(), nil
+		},
+		RunEdge: func(g *graph.Graph, p Params, opts ...dist.Option) (*dist.Result[[]int], []string, error) {
+			pl, err := core.AutoPlan(g.MaxDegree(), 2, p.B, p.P, true)
+			if err != nil {
+				return nil, nil, err
+			}
+			res, err := edgecolor.LegalEdgeColoring(g, pl, msgMode(p.Mode), opts...)
+			return res, []string{fmt.Sprintf("plan:  %v", pl)}, err
+		},
+	})
+
+	Register(Algorithm{
+		Kind: "edge", Name: "pr", Quality: QualityFast,
+		Summary: "Panconesi–Rizzi 2Δ-1 edge coloring (O(Δ + log* n) rounds)",
+		Canon:   zeroPlan,
+		BuildEdge: func(g *graph.Graph, p Params) (dist.Algo[[]int], int, error) {
+			delta := g.MaxDegree()
+			return dist.Interpret(func(v dist.Process) []int {
+				return panconesi.EdgeColorStep(v, nil, delta)
+			}), 2*delta - 1, nil
+		},
+		RunEdge: func(g *graph.Graph, p Params, opts ...dist.Option) (*dist.Result[[]int], []string, error) {
+			res, err := panconesi.EdgeColoring(g, opts...)
+			return res, nil, err
+		},
+	})
+
+	Register(Algorithm{
+		Kind: "edge", Name: "greedy", Quality: QualityFast,
+		Summary: "sequential-order greedy baseline (2Δ-1 colors)",
+		Canon:   zeroPlan,
+		BuildEdge: func(g *graph.Graph, p Params) (dist.Algo[[]int], int, error) {
+			return baseline.GreedyEdgeAlgo(), 2*g.MaxDegree() - 1, nil
+		},
+		RunEdge: func(g *graph.Graph, p Params, opts ...dist.Option) (*dist.Result[[]int], []string, error) {
+			res, err := baseline.GreedyEdgeColoring(g, opts...)
+			return res, nil, err
+		},
+	})
+
+	Register(Algorithm{
+		Kind: "edge", Name: "fewcolors", Quality: QualityFewColors,
+		Summary: "Δ+o(Δ) measured palette: PR base + Kempe vacate/descent sweeps",
+		Canon:   zeroPlan,
+		BuildEdge: func(g *graph.Graph, p Params) (dist.Algo[[]int], int, error) {
+			return fewcolors.Algo(), fewcolors.PaletteBound(g), nil
+		},
+		RunEdge: func(g *graph.Graph, p Params, opts ...dist.Option) (*dist.Result[[]int], []string, error) {
+			res, err := dist.RunAlgo(g, fewcolors.Algo(), opts...)
+			return res, nil, err
+		},
+	})
+
+	Register(Algorithm{
+		Kind: "edge", Name: "rand",
+		Summary: "randomized trial baseline (keeps the best of seeded trials)",
+		RunEdge: func(g *graph.Graph, p Params, opts ...dist.Option) (*dist.Result[[]int], []string, error) {
+			res, err := baseline.RandomizedTrialEdgeColoring(g, opts...)
+			return res, nil, err
+		},
+	})
+
+	Register(Algorithm{
+		Kind: "edge", Name: "tradeoff",
+		Summary: "§6 colors-vs-rounds tradeoff on half-degree classes",
+		RunEdge: func(g *graph.Graph, p Params, opts ...dist.Option) (*dist.Result[[]int], []string, error) {
+			res, err := edgecolor.TradeoffEdgeColoring(g, p.B, p.P, g.MaxDegree()/2, msgMode(p.Mode), opts...)
+			return res, nil, err
+		},
+	})
+
+	Register(Algorithm{
+		Kind: "edge", Name: "cor62",
+		Summary: "Corollary 6.2 randomized edge coloring (seeded restarts)",
+		RunEdge: func(g *graph.Graph, p Params, opts ...dist.Option) (*dist.Result[[]int], []string, error) {
+			res, err := edgecolor.RandomizedEdgeColoring(g, p.B, p.P, 8, msgMode(p.Mode), opts...)
+			return res, nil, err
+		},
+	})
+
+	Register(Algorithm{
+		Kind: "vertex", Name: "be", Quality: QualityFast,
+		Summary: "Procedure Legal-Color under bounded neighborhood independence",
+		Canon: func(p *Params) error {
+			if p.P == 0 {
+				p.P = 4*p.C + 1
+			}
+			p.Mode = ""
+			return nil
+		},
+		BuildVertex: func(g *graph.Graph, p Params) (dist.Algo[int], int, error) {
+			delta := g.MaxDegree()
+			if delta == 0 {
+				// Isolated vertices: the 1-coloring, still a real run so the
+				// accounting pipeline stays uniform.
+				palette := 0
+				if g.N() > 0 {
+					palette = 1
+				}
+				return dist.Interpret(func(v dist.Process) int { return 1 }), palette, nil
+			}
+			pl, err := core.AutoPlan(delta, p.C, p.B, p.P, false)
+			if err != nil {
+				return dist.Algo[int]{}, 0, err
+			}
+			algo, err := core.LegalColorProcess(g.N(), delta, pl, core.StartIDs)
+			if err != nil {
+				return dist.Algo[int]{}, 0, err
+			}
+			return dist.Interpret(algo), pl.TotalPalette(), nil
+		},
+		RunVertex: runLegal(core.StartIDs),
+	})
+
+	Register(Algorithm{
+		Kind: "vertex", Name: "legal",
+		Summary:   "Procedure Legal-Color seeded by vertex identifiers (alias of be)",
+		RunVertex: runLegal(core.StartIDs),
+	})
+
+	Register(Algorithm{
+		Kind: "vertex", Name: "legalaux",
+		Summary:   "Procedure Legal-Color seeded by an auxiliary O(Δ²)-coloring",
+		RunVertex: runLegal(core.StartAux),
+	})
+
+	Register(Algorithm{
+		Kind: "vertex", Name: "defective", NoFooter: true,
+		Summary: "Procedure Defective-Color: p²-coloring with bounded defect",
+		RunVertex: func(g *graph.Graph, p Params, opts ...dist.Option) (*dist.Result[int], []string, error) {
+			res, err := core.DefectiveColoring(g, p.C, p.B, p.P, opts...)
+			if err != nil {
+				return nil, nil, err
+			}
+			bound := core.DefectiveColoringBound(g.MaxDegree(), p.C, p.B, p.P)
+			defect := graph.VertexDefect(g, res.Outputs)
+			return res, []string{
+				fmt.Sprintf("defective %d-coloring: defect %d (bound %d), product defect·p = %d vs Δ = %d",
+					p.P, defect, bound, defect*p.P, g.MaxDegree()),
+				fmt.Sprintf("cost: %v", res.Stats),
+			}, nil
+		},
+	})
+
+	Register(Algorithm{
+		Kind: "vertex", Name: "tradeoff",
+		Summary: "§6 tradeoff coloring on half-degree classes",
+		RunVertex: func(g *graph.Graph, p Params, opts ...dist.Option) (*dist.Result[int], []string, error) {
+			classDeg := g.MaxDegree() / 2
+			if classDeg < 2 {
+				classDeg = g.MaxDegree()
+			}
+			res, err := core.TradeoffColoring(g, p.C, p.B, p.P, classDeg, opts...)
+			return res, nil, err
+		},
+	})
+
+	Register(Algorithm{
+		Kind: "vertex", Name: "randomized",
+		Summary: "randomized coloring with seeded restarts (κ = 8)",
+		RunVertex: func(g *graph.Graph, p Params, opts ...dist.Option) (*dist.Result[int], []string, error) {
+			res, err := core.RandomizedColoring(g, p.C, p.B, p.P, 8, opts...)
+			return res, nil, err
+		},
+	})
+
+	Register(Algorithm{
+		Kind: "vertex", Name: "greedy", Quality: QualityFast,
+		Summary: "sequential-order greedy baseline (Δ+1 colors)",
+		Canon: func(p *Params) error {
+			p.Mode, p.P, p.B, p.C = "", 0, 0, 0
+			return nil
+		},
+		BuildVertex: func(g *graph.Graph, p Params) (dist.Algo[int], int, error) {
+			return baseline.GreedyVertexAlgo(), g.MaxDegree() + 1, nil
+		},
+		RunVertex: func(g *graph.Graph, p Params, opts ...dist.Option) (*dist.Result[int], []string, error) {
+			res, err := baseline.GreedyVertexColoring(g, opts...)
+			return res, nil, err
+		},
+	})
+}
+
+// runLegal builds the Legal-Color CLI hook for a start mode: plan note plus
+// the full run.
+func runLegal(mode core.Mode) func(*graph.Graph, Params, ...dist.Option) (*dist.Result[int], []string, error) {
+	return func(g *graph.Graph, p Params, opts ...dist.Option) (*dist.Result[int], []string, error) {
+		pl, err := core.AutoPlan(g.MaxDegree(), p.C, p.B, p.P, false)
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := core.LegalColoring(g, pl, mode, opts...)
+		return res, []string{fmt.Sprintf("plan:  %v", pl)}, err
+	}
+}

@@ -186,6 +186,14 @@ func CompileProcess[T any](f func(Process) T) CompiledAlgo[T] {
 	return procInterp[T]{f: f}
 }
 
+// Interpret bundles a per-vertex body with its CompileProcess form: the one
+// definition runs on all four engines, the Compiled engine interpreting it
+// via coroutines. Algorithms with a hand-flattened compiled pass should
+// build their Algo explicitly instead.
+func Interpret[T any](f func(Process) T) Algo[T] {
+	return Algo[T]{Vertex: f, Compiled: CompileProcess(f)}
+}
+
 type procInterp[T any] struct {
 	f func(Process) T
 }

@@ -32,6 +32,7 @@ func TestRegistryComplete(t *testing.T) {
 		"table1", "table2", "fig1", "fig2", "fig3",
 		"defectproduct", "vertexscaling", "msgsize", "cor54",
 		"cor62", "tradeoff", "linegraphsim", "ni", "ablation",
+		"tiers",
 	}
 	for _, name := range want {
 		if _, ok := Lookup(name); !ok {

@@ -1,0 +1,83 @@
+package exp
+
+import (
+	"io"
+
+	"repro/internal/algreg"
+	"repro/internal/dist"
+	"repro/internal/graph"
+)
+
+func init() {
+	register("tiers", "Algorithm tiers: colors vs rounds of the servable edge algorithms (fast vs fewcolors)", runTiers)
+}
+
+// runTiers measures the colors-vs-rounds position of every servable edge
+// algorithm — the quality-knob story in one table. The fast tier (be, pr,
+// greedy) buys few rounds at a 2Δ-1-ish palette; the fewcolors tier spends
+// Kempe-sweep rounds to land near Δ. The gnm row is the acceptance instance:
+// fewcolors' measured palette must sit strictly below the fast tier's.
+func runTiers(w io.Writer, cfg Config) error {
+	t := Table{
+		Title: "Algorithm tiers: measured colors vs rounds, servable edge algorithms",
+		Note: "bound = the algorithm's palette bound for the instance; colors = distinct colors used.\n" +
+			"quality is the /v1/color knob: fast answers in few rounds, fewcolors trades rounds for a\n" +
+			"palette near Δ (PR base + per-class Kempe vacate/descent sweeps).",
+		Header: []string{"graph", "Δ", "alg", "quality", "bound", "colors", "rounds", "legal"},
+	}
+	specs := []GraphSpec{
+		{Family: "gnm", N: 2000, M: 40000, Seed: 1},
+		{Family: "regular", N: 500, Deg: 16, Seed: 1},
+		{Family: "powercycle", N: 200, Deg: 8},
+	}
+	var algs []*algreg.Algorithm
+	for _, a := range algreg.Servable() {
+		if a.Kind == "edge" {
+			algs = append(algs, a)
+		}
+	}
+	type cell struct{ spec, alg int }
+	var cells []cell
+	for si := range specs {
+		for ai := range algs {
+			cells = append(cells, cell{si, ai})
+		}
+	}
+	rows, err := Parallel(cfg, len(cells), func(i int) ([]interface{}, error) {
+		spec, a := specs[cells[i].spec], algs[cells[i].alg]
+		g, err := spec.Build()
+		if err != nil {
+			return nil, err
+		}
+		params := algreg.Params{B: 2, Mode: "wide"}
+		if err := a.Canon(&params); err != nil {
+			return nil, err
+		}
+		algo, bound, err := a.BuildEdge(g, params)
+		if err != nil {
+			return nil, err
+		}
+		res, err := dist.RunAlgo(g, algo, cfg.opts()...)
+		if err != nil {
+			return nil, err
+		}
+		colors, err := graph.MergePortColors(g, res.Outputs)
+		if err != nil {
+			return nil, err
+		}
+		legal := "ok"
+		if graph.CheckEdgeColoring(g, colors) != nil {
+			legal = "ILLEGAL"
+		}
+		return []interface{}{spec.String(), g.MaxDegree(), a.Name, a.Quality,
+			bound, graph.CountColors(colors), res.Stats.Rounds, legal}, nil
+	})
+	if err != nil {
+		return err
+	}
+	for _, row := range rows {
+		t.Add(row...)
+	}
+	t.Render(w)
+	return nil
+}

@@ -1,0 +1,200 @@
+package fewcolors_test
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/dist"
+	"repro/internal/exp"
+	"repro/internal/fewcolors"
+	"repro/internal/graph"
+	"repro/internal/panconesi"
+)
+
+// sweepSpecs covers every exp.GraphSpec family the service accepts, plus
+// seed variation on the randomized ones — the ≥10-family property matrix.
+func sweepSpecs() []exp.GraphSpec {
+	return []exp.GraphSpec{
+		{Family: "gnm", N: 80, M: 300, Seed: 3},
+		{Family: "gnm", N: 80, M: 300, Seed: 7},
+		{Family: "gnm", N: 120, M: 200, Seed: 1},
+		{Family: "regular", N: 48, Deg: 6, Seed: 5},
+		{Family: "regular", N: 48, Deg: 6, Seed: 9},
+		{Family: "cycle", N: 19},
+		{Family: "path", N: 17},
+		{Family: "complete", N: 12},
+		{Family: "tree", N: 40, Seed: 7},
+		{Family: "tree", N: 40, Seed: 11},
+		{Family: "geometric", N: 120, Seed: 6},
+		{Family: "powercycle", N: 40, Deg: 5},
+		{Family: "grid", N: 8, M: 7},
+		{Family: "fig1", Deg: 9},
+		{Family: "linegraph", N: 24, M: 80, Seed: 8},
+		{Family: "hyperline", N: 30, M: 45, Deg: 3, Seed: 9},
+	}
+}
+
+func build(t *testing.T, spec exp.GraphSpec) *graph.Graph {
+	t.Helper()
+	g, err := spec.Build()
+	if err != nil {
+		t.Fatalf("build %v: %v", spec, err)
+	}
+	return g
+}
+
+// TestProperAndPalette is the property sweep: on every family the result is
+// a legal edge coloring whose palette stays within PaletteBound, the round
+// count matches Rounds exactly, and the palette never exceeds the 2Δ−1 of
+// the fast tier.
+func TestProperAndPalette(t *testing.T) {
+	for _, spec := range sweepSpecs() {
+		t.Run(spec.String(), func(t *testing.T) {
+			g := build(t, spec)
+			res, err := dist.RunAlgo(g, fewcolors.Algo())
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			colors, err := graph.MergePortColors(g, res.Outputs)
+			if err != nil {
+				t.Fatalf("merge: %v", err)
+			}
+			if err := graph.CheckEdgeColoring(g, colors); err != nil {
+				t.Fatalf("illegal coloring: %v", err)
+			}
+			bound := fewcolors.PaletteBound(g)
+			for id, c := range colors {
+				if c < 1 || c > bound {
+					e := g.EdgeAt(id)
+					t.Fatalf("edge %d (%d,%d): color %d outside 1..%d", id, e.U, e.V, c, bound)
+				}
+			}
+			delta := g.MaxDegree()
+			if delta > 0 && bound > 2*delta-1 {
+				t.Fatalf("PaletteBound %d exceeds 2Δ-1 = %d", bound, 2*delta-1)
+			}
+			if want := fewcolors.Rounds(g.N(), delta); res.Stats.Rounds != want {
+				t.Fatalf("rounds = %d, want %d", res.Stats.Rounds, want)
+			}
+		})
+	}
+}
+
+// TestEnginesAgree pins byte-identical Outputs and Stats across all four
+// engines (and a multi-shard Sharded run) on a representative subset.
+func TestEnginesAgree(t *testing.T) {
+	specs := []exp.GraphSpec{
+		{Family: "gnm", N: 80, M: 300, Seed: 3},
+		{Family: "regular", N: 48, Deg: 6, Seed: 5},
+		{Family: "tree", N: 40, Seed: 7},
+		{Family: "fig1", Deg: 9},
+	}
+	for _, spec := range specs {
+		g := build(t, spec)
+		ref, err := dist.RunAlgo(g, fewcolors.Algo(), dist.WithEngine(dist.Goroutines))
+		if err != nil {
+			t.Fatalf("%v goroutines: %v", spec, err)
+		}
+		variants := map[string][]dist.Option{
+			"lockstep":  {dist.WithEngine(dist.Lockstep)},
+			"sharded":   {dist.WithEngine(dist.Sharded)},
+			"sharded-4": {dist.WithEngine(dist.Sharded), dist.WithShards(4)},
+			"compiled":  {dist.WithEngine(dist.Compiled)},
+		}
+		for name, opts := range variants {
+			res, err := dist.RunAlgo(g, fewcolors.Algo(), opts...)
+			if err != nil {
+				t.Fatalf("%v %s: %v", spec, name, err)
+			}
+			if !reflect.DeepEqual(ref.Outputs, res.Outputs) {
+				t.Fatalf("%v: outputs differ: goroutines vs %s", spec, name)
+			}
+			if ref.Stats != res.Stats {
+				t.Fatalf("%v: stats differ: goroutines %v vs %s %v", spec, ref.Stats, name, res.Stats)
+			}
+		}
+	}
+}
+
+// TestFewerColorsThanBase verifies the tier earns its name: on the dense
+// acceptance family the measured palette is strictly below the 2Δ−1 the
+// fast tiers are bounded by (and below what the base PR run itself used).
+func TestFewerColorsThanBase(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dense acceptance family is slow")
+	}
+	g := build(t, exp.GraphSpec{Family: "gnm", N: 2000, M: 40000, Seed: 1})
+	res, err := dist.RunAlgo(g, fewcolors.Algo(), dist.WithEngine(dist.Compiled))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	colors, err := graph.MergePortColors(g, res.Outputs)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	if err := graph.CheckEdgeColoring(g, colors); err != nil {
+		t.Fatalf("illegal coloring: %v", err)
+	}
+	used := graph.CountColors(colors)
+	base, err := panconesi.EdgeColoring(g, dist.WithEngine(dist.Compiled))
+	if err != nil {
+		t.Fatalf("base run: %v", err)
+	}
+	baseColors, err := graph.MergePortColors(g, base.Outputs)
+	if err != nil {
+		t.Fatalf("base merge: %v", err)
+	}
+	baseUsed := graph.CountColors(baseColors)
+	fast := 2*g.MaxDegree() - 1
+	t.Logf("Δ=%d: fewcolors used %d (bound %d), pr used %d, fast palette %d",
+		g.MaxDegree(), used, fewcolors.PaletteBound(g), baseUsed, fast)
+	if used >= fast {
+		t.Fatalf("fewcolors used %d colors, not below the fast palette %d", used, fast)
+	}
+	if used >= baseUsed {
+		t.Fatalf("fewcolors used %d colors, not below the pr run's %d", used, baseUsed)
+	}
+}
+
+// TestEmptyAndIsolated covers the degenerate corners: no edges means no
+// rounds, no colors, and a zero bound.
+func TestEmptyAndIsolated(t *testing.T) {
+	for _, n := range []int{0, 1, 5} {
+		g := graph.NewBuilder(n).Build()
+		res, err := dist.RunAlgo(g, fewcolors.Algo(), dist.WithEngine(dist.Compiled))
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if res.Stats.Rounds != 0 {
+			t.Fatalf("n=%d: rounds = %d, want 0", n, res.Stats.Rounds)
+		}
+		if got := fewcolors.PaletteBound(g); got != 0 {
+			t.Fatalf("n=%d: PaletteBound = %d, want 0", n, got)
+		}
+		if got := fewcolors.Rounds(n, g.MaxDegree()); got != 0 {
+			t.Fatalf("n=%d: Rounds = %d, want 0", n, got)
+		}
+	}
+}
+
+// TestOutputPin is the byte-equality pin: a fixed graph's merged coloring is
+// rendered to a string once and must never drift — across engines today,
+// across refactors tomorrow. Regenerating this constant is a semantics
+// change and must be called out in review.
+func TestOutputPin(t *testing.T) {
+	g := build(t, exp.GraphSpec{Family: "fig1", Deg: 5})
+	res, err := dist.RunAlgo(g, fewcolors.Algo(), dist.WithEngine(dist.Compiled))
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	colors, err := graph.MergePortColors(g, res.Outputs)
+	if err != nil {
+		t.Fatalf("merge: %v", err)
+	}
+	got := fmt.Sprintf("%v rounds=%d", colors, res.Stats.Rounds)
+	const want = "[2 3 4 5 1 4 3 6 1 5 7 1 2 1 1] rounds=103"
+	if got != want {
+		t.Fatalf("pinned output drifted:\n got %s\nwant %s", got, want)
+	}
+}

@@ -3,16 +3,14 @@ package service
 import (
 	"fmt"
 
-	"repro/internal/baseline"
-	"repro/internal/core"
+	"repro/internal/algreg"
 	"repro/internal/dist"
-	"repro/internal/edgecolor"
 	"repro/internal/graph"
-	"repro/internal/panconesi"
 )
 
 // resolve validates a request against its built graph and returns the
-// canonical form: defaults filled, cache key derived, and a runner closure
+// canonical form: algorithm resolved through the registry (including the
+// quality knob), defaults filled, cache key derived, and a runner closure
 // bound to the entry's pools. All parameter validation happens here, before
 // the request is queued — exec-time failures are limited to genuine runtime
 // errors (vertex panics, round caps).
@@ -22,6 +20,11 @@ func (s *Service) resolve(req Request) (*canonReq, error) {
 	default:
 		return nil, fmt.Errorf("service: unknown kind %q (want edge or vertex)", req.Kind)
 	}
+	alg, err := algreg.Resolve(req.Kind, req.Alg, req.Quality)
+	if err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	req.Alg = alg.Name
 	engine := s.cfg.Engine
 	if req.Engine != "" {
 		var err error
@@ -35,20 +38,31 @@ func (s *Service) resolve(req Request) (*canonReq, error) {
 	}
 	g := entry.g
 
-	if req.B == 0 {
-		req.B = 2
+	// Shared parameter canonicalization, then the algorithm's own: the two
+	// stages together determine the canonical cache key.
+	params := algreg.Params{B: req.B, P: req.P, C: req.C, Mode: req.Mode, Seed: req.Seed}
+	if params.B == 0 {
+		params.B = 2
 	}
-	if req.C == 0 {
-		req.C = 2
+	if params.C == 0 {
+		params.C = 2
 	}
-	if req.Mode == "" {
-		req.Mode = "wide"
+	if params.Mode == "" {
+		params.Mode = "wide"
 	}
-	if req.B < 2 || req.C < 1 || req.P < 0 {
-		return nil, fmt.Errorf("service: invalid plan parameters b=%d p=%d c=%d", req.B, req.P, req.C)
+	if params.B < 2 || params.C < 1 || params.P < 0 {
+		return nil, fmt.Errorf("service: invalid plan parameters b=%d p=%d c=%d", params.B, params.P, params.C)
 	}
+	if req.Kind == "edge" {
+		params.C = 0 // edge algorithms work on c = 2 by construction (Lemma 5.1)
+	}
+	if err := alg.Canon(&params); err != nil {
+		return nil, fmt.Errorf("service: %w", err)
+	}
+	req.B, req.P, req.C, req.Mode = params.B, params.P, params.C, params.Mode
 
 	c := &canonReq{
+		alg:   alg,
 		entry: entry,
 		opts: []dist.Option{
 			dist.WithSeed(req.Seed),
@@ -56,75 +70,22 @@ func (s *Service) resolve(req Request) (*canonReq, error) {
 			dist.WithShards(req.Shards),
 		},
 	}
-
-	delta := g.MaxDegree()
 	if req.Kind == "edge" {
-		req.C = 0 // edge algorithms work on c = 2 by construction (Lemma 5.1)
-	}
-	switch {
-	case req.Kind == "edge" && req.Alg == "be":
-		if req.P == 0 {
-			req.P = 6
-		}
-		if req.Mode != "wide" && req.Mode != "short" {
-			return nil, fmt.Errorf("service: unknown mode %q (want wide or short)", req.Mode)
-		}
-		mode := edgecolor.Wide
-		if req.Mode == "short" {
-			mode = edgecolor.Short
-		}
 		if g.M() == 0 {
 			c.runner = emptyEdges
-			break
+		} else {
+			algo, palette, err := alg.BuildEdge(g, params)
+			if err != nil {
+				return nil, err
+			}
+			c.runner = edgeRunner(algo, palette)
 		}
-		pl, err := core.AutoPlan(delta, 2, req.B, req.P, true)
+	} else {
+		algo, palette, err := alg.BuildVertex(g, params)
 		if err != nil {
 			return nil, err
 		}
-		algo, err := edgecolor.LegalEdgeProcess(delta, pl, mode)
-		if err != nil {
-			return nil, err
-		}
-		c.runner = edgeRunner(interpreted(algo), pl.TotalPalette())
-	case req.Kind == "edge" && req.Alg == "pr":
-		req.Mode, req.P, req.B = "", 0, 0 // unused: keep the key canonical
-		if g.M() == 0 {
-			c.runner = emptyEdges
-			break
-		}
-		c.runner = edgeRunner(interpreted(func(v dist.Process) []int {
-			return panconesi.EdgeColorStep(v, nil, delta)
-		}), 2*delta-1)
-	case req.Kind == "edge" && req.Alg == "greedy":
-		req.Mode, req.P, req.B = "", 0, 0
-		if g.M() == 0 {
-			c.runner = emptyEdges
-			break
-		}
-		c.runner = edgeRunner(baseline.GreedyEdgeAlgo(), 2*delta-1)
-	case req.Kind == "vertex" && req.Alg == "be":
-		if req.P == 0 {
-			req.P = 4*req.C + 1
-		}
-		req.Mode = ""
-		if delta == 0 {
-			c.runner = isolatedVertices
-			break
-		}
-		pl, err := core.AutoPlan(delta, req.C, req.B, req.P, false)
-		if err != nil {
-			return nil, err
-		}
-		algo, err := core.LegalColorProcess(g.N(), delta, pl, core.StartIDs)
-		if err != nil {
-			return nil, err
-		}
-		c.runner = vertexRunner(interpreted(algo), pl.TotalPalette())
-	case req.Kind == "vertex" && req.Alg == "greedy":
-		req.Mode, req.P, req.B, req.C = "", 0, 0, 0
-		c.runner = vertexRunner(baseline.GreedyVertexAlgo(), delta+1)
-	default:
-		return nil, fmt.Errorf("service: unknown algorithm %q for kind %q", req.Alg, req.Kind)
+		c.runner = vertexRunner(algo, palette)
 	}
 
 	c.req = req
@@ -141,18 +102,12 @@ func (c *canonReq) baseRecord(palette int) *record {
 	return &record{
 		kind:    c.req.Kind,
 		alg:     c.req.Alg,
+		quality: c.alg.Quality,
 		n:       g.N(),
 		m:       g.M(),
 		delta:   g.MaxDegree(),
 		palette: palette,
 	}
-}
-
-// interpreted bundles a vertex function with its CompileProcess form, so the
-// algorithm runs under every engine — including Compiled, where the generic
-// flat-array interpreter executes it without per-vertex goroutines.
-func interpreted[T any](vertex func(dist.Process) T) dist.Algo[T] {
-	return dist.Algo[T]{Vertex: vertex, Compiled: dist.CompileProcess(vertex)}
 }
 
 // edgeRunner executes an edge algorithm (per-vertex port colorings) on the
@@ -174,6 +129,7 @@ func edgeRunner(algo dist.Algo[[]int], palette int) func(*canonReq) (*record, er
 		}
 		rec := c.baseRecord(palette)
 		rec.colors = colors
+		rec.colorsUsed = graph.CountColors(colors)
 		rec.stats = res.Stats
 		return rec, nil
 	}
@@ -191,6 +147,7 @@ func vertexRunner(algo dist.Algo[int], palette int) func(*canonReq) (*record, er
 		}
 		rec := c.baseRecord(palette)
 		rec.colors = res.Outputs
+		rec.colorsUsed = graph.CountColors(res.Outputs)
 		rec.stats = res.Stats
 		return rec, nil
 	}
@@ -201,23 +158,5 @@ func vertexRunner(algo dist.Algo[int], palette int) func(*canonReq) (*record, er
 func emptyEdges(c *canonReq) (*record, error) {
 	rec := c.baseRecord(0)
 	rec.colors = []int{}
-	return rec, nil
-}
-
-// isolatedVertices answers vertex "be" requests on edgeless graphs with the
-// 1-coloring, still executed as a real (zero-round) run so the accounting
-// pipeline stays uniform.
-func isolatedVertices(c *canonReq) (*record, error) {
-	res, err := c.entry.ints().RunAlgo(interpreted(func(v dist.Process) int { return 1 }), c.opts...)
-	if err != nil {
-		return nil, err
-	}
-	palette := 0
-	if c.entry.g.N() > 0 {
-		palette = 1
-	}
-	rec := c.baseRecord(palette)
-	rec.colors = res.Outputs
-	rec.stats = res.Stats
 	return rec, nil
 }

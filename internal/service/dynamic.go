@@ -11,6 +11,7 @@ import (
 	"path/filepath"
 	"sync"
 
+	"repro/internal/algreg"
 	"repro/internal/dist"
 	"repro/internal/dynamic"
 	"repro/internal/exp"
@@ -62,6 +63,14 @@ type MutateResponse struct {
 	Totals    *dynamic.Stats `json:"totals,omitempty"`
 	NumColors int            `json:"numColors,omitempty"`
 	Colors    []int          `json:"colors,omitempty"`
+	// The ?detail=1 fields, absent otherwise so default bodies never change
+	// shape: the maintainer's repair algorithm ("repair", tier "fast"), its
+	// first-fit palette bound for the current graph (2Δ-1), and the measured
+	// distinct-color count.
+	Alg          string `json:"alg,omitempty"`
+	Quality      string `json:"quality,omitempty"`
+	PaletteBound int    `json:"paletteBound,omitempty"`
+	ColorsUsed   int    `json:"colorsUsed,omitempty"`
 }
 
 // sessionTable is the bounded LRU of live dynamic sessions. Eviction closes
@@ -286,6 +295,14 @@ type SessionSnapshot struct {
 // pure coloring reads are answered from the result cache when the session
 // fingerprint has not moved since the coloring was last rendered.
 func (s *Service) Mutate(req MutateRequest) (*MutateResponse, Outcome, error) {
+	return s.mutate(req, false)
+}
+
+// mutate is Mutate plus the ?detail=1 switch: with detail set, the response
+// additionally carries the repair algorithm's identity, tier, palette bound,
+// and measured color count. The detail fields are filled after any cache
+// interaction — cached read records stay detail-free and byte-stable.
+func (s *Service) mutate(req MutateRequest, detail bool) (*MutateResponse, Outcome, error) {
 	// Stripe the counters by session name: concurrent sessions update
 	// disjoint cache lines, and all of one request's counts stay coherent
 	// within its stripe.
@@ -312,7 +329,11 @@ func (s *Service) Mutate(req MutateRequest) (*MutateResponse, Outcome, error) {
 		return nil, "", err
 	}
 	if len(req.Ops) == 0 && req.Colors {
-		return s.readColors(req.Session, sess, ctr)
+		resp, outcome, err := s.readColors(req.Session, sess, ctr)
+		if err == nil && detail {
+			fillRepairDetail(resp, resp.NumColors)
+		}
+		return resp, outcome, err
 	}
 
 	rep, applied, err := sess.mt.Apply(req.Ops)
@@ -345,7 +366,26 @@ func (s *Service) Mutate(req MutateRequest) (*MutateResponse, Outcome, error) {
 		resp.Colors = sess.mt.Colors()
 		resp.NumColors = graph.CountColors(resp.Colors)
 	}
+	if detail {
+		used := resp.NumColors
+		if !req.Colors {
+			used = graph.CountColors(sess.mt.Colors())
+		}
+		fillRepairDetail(resp, used)
+	}
 	return resp, Miss, nil
+}
+
+// fillRepairDetail stamps the ?detail=1 fields onto a mutate response. The
+// maintainer's repair is first-fit over incident colors, so its guaranteed
+// bound on the current graph is 2Δ-1 (pinned by the dynamic package's
+// canonical tests); it serves the "fast" tier.
+func fillRepairDetail(resp *MutateResponse, colorsUsed int) {
+	resp.Alg, resp.Quality = "repair", algreg.QualityFast
+	if resp.Delta > 0 {
+		resp.PaletteBound = 2*resp.Delta - 1
+	}
+	resp.ColorsUsed = colorsUsed
 }
 
 // walPath maps a session name to its log file: a hash, not the name itself,

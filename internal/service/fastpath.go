@@ -1,6 +1,10 @@
 package service
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"repro/internal/algreg"
+)
 
 // The wire fast path.
 //
@@ -82,7 +86,11 @@ type counterStripe struct {
 	walAppends  atomic.Int64
 	walErrors   atomic.Int64
 	filled      atomic.Int64
-	_           [128 - 14*8]byte
+	// algRequests counts requests per servable algorithm, indexed by the
+	// registry's ServeIndex — the per-alg half of /statz, on the same
+	// striped plane as the outcome counters.
+	algRequests [algreg.MaxServable]atomic.Int64
+	_           [192 - 14*8 - algreg.MaxServable*8]byte
 }
 
 // serviceCounters stripes the per-request counters across padded cache
@@ -101,6 +109,7 @@ type counterTotals struct {
 	requests, hits, coalesced, runs, errors, mutations int64
 	badRequests, subscribes, delivered, dropped        int64
 	replayed, walAppends, walErrors, filled            int64
+	algRequests                                        [algreg.MaxServable]int64
 }
 
 func (c *serviceCounters) totals() counterTotals {
@@ -110,7 +119,11 @@ func (c *serviceCounters) totals() counterTotals {
 		// Outcomes first, requests last — the mirror image of the write
 		// order (requests before outcome). Any outcome visible in the
 		// snapshot then implies its request is too, so snapshots never show
-		// hits+coalesced+runs exceeding requests.
+		// hits+coalesced+runs exceeding requests. The per-alg counts are
+		// outcomes in this sense too: written after requests, read before.
+		for j := range s.algRequests {
+			t.algRequests[j] += s.algRequests[j].Load()
+		}
 		t.hits += s.hits.Load()
 		t.coalesced += s.coalesced.Load()
 		t.runs += s.runs.Load()

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"io"
@@ -38,11 +39,16 @@ func readBody(r io.Reader, buf []byte) ([]byte, error) {
 //
 //	POST /v1/color  — body: a Request (JSON); response: a Response (JSON).
 //	                  X-Colord-Cache reports hit|coalesced|miss; the body is
-//	                  byte-identical regardless.
+//	                  byte-identical regardless. With ?detail=1 the response
+//	                  is the DetailResponse envelope instead (resolved alg,
+//	                  quality tier, paletteBound, colorsUsed) — additive and
+//	                  separately versioned; the default body never changes
+//	                  shape.
 //	POST /v1/mutate — body: a MutateRequest (JSON); response: a
 //	                  MutateResponse (JSON). Mutations apply local repairs;
 //	                  pure coloring reads serve through the result cache
-//	                  keyed by the session's evolving fingerprint.
+//	                  keyed by the session's evolving fingerprint. ?detail=1
+//	                  adds the palette-observability fields to the response.
 //	GET  /v1/subscribe?session=NAME
 //	                — an SSE stream of the named session's recolor deltas
 //	                  (see subscribe.go for the event contract).
@@ -59,6 +65,13 @@ func (s *Service) Handler() http.Handler {
 			bodyPool.Put(bp)
 			s.counters.stripe(0).badRequests.Add(1)
 			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		// The raw-query check is one string compare on the hot path; only
+		// requests that actually carry a query string pay the parse.
+		if r.URL.RawQuery != "" && r.URL.Query().Get("detail") == "1" {
+			s.serveColorDetail(w, body)
+			bodyPool.Put(bp)
 			return
 		}
 		resp, key, outcome, err := s.HandleRaw(body)
@@ -94,7 +107,8 @@ func (s *Service) Handler() http.Handler {
 			httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 			return
 		}
-		resp, outcome, err := s.Mutate(req)
+		detail := r.URL.RawQuery != "" && r.URL.Query().Get("detail") == "1"
+		resp, outcome, err := s.mutate(req, detail)
 		if err != nil {
 			httpError(w, http.StatusUnprocessableEntity, err.Error())
 			return
@@ -134,6 +148,35 @@ func (s *Service) Handler() http.Handler {
 		writeJSON(w, s.Stats())
 	})
 	return mux
+}
+
+// serveColorDetail is the ?detail=1 lane of /v1/color: a full decode and a
+// JSON render per request (no fast path, no prerendered bytes) in exchange
+// for the palette-observability envelope. The computation underneath shares
+// the result cache with the plain lane.
+func (s *Service) serveColorDetail(w http.ResponseWriter, body []byte) {
+	var req Request
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.counters.stripe(0).badRequests.Add(1)
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	resp, outcome, err := s.HandleDetail(req)
+	if err != nil {
+		status := http.StatusUnprocessableEntity
+		if err == ErrClosed {
+			status = http.StatusServiceUnavailable
+		}
+		httpError(w, status, err.Error())
+		return
+	}
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("X-Colord-Cache", string(outcome))
+	h.Set("X-Colord-Key", resp.Key)
+	writeJSON(w, resp)
 }
 
 func httpError(w http.ResponseWriter, status int, msg string) {

@@ -5,6 +5,7 @@ import (
 	"encoding/hex"
 	"fmt"
 
+	"repro/internal/algreg"
 	"repro/internal/dist"
 	"repro/internal/exp"
 	"repro/internal/graph"
@@ -23,10 +24,16 @@ import (
 type Request struct {
 	// Kind is "edge" or "vertex".
 	Kind string `json:"kind"`
-	// Alg selects the algorithm. Edge: "be" (the paper's §5 Legal-Color),
-	// "pr" (Panconesi–Rizzi), "greedy". Vertex: "be" (Procedure
-	// Legal-Color), "greedy".
-	Alg string `json:"alg"`
+	// Alg selects the algorithm by name; the servable names are the algreg
+	// entries (edge: "be", "pr", "greedy", "fewcolors"; vertex: "be",
+	// "greedy"). Empty with Quality set picks that tier's default.
+	Alg string `json:"alg,omitempty"`
+	// Quality is the palette-size knob: "fast" (today's behavior, the
+	// fewest-rounds tier) or "fewcolors" (a measured palette near Δ at a
+	// higher round cost). Empty imposes nothing; set alongside Alg it must
+	// match the named algorithm's tier. Not part of the cache key — the
+	// resolved algorithm is.
+	Quality string `json:"quality,omitempty"`
 	// Graph names the instance.
 	Graph exp.GraphSpec `json:"graph"`
 	// Seed is the algorithm seed (dist.WithSeed); part of the cache key.
@@ -81,11 +88,35 @@ type Response struct {
 	Stats     Stats `json:"stats"`
 }
 
+// DetailResponse is the ?detail=1 envelope: the standard response plus the
+// quality-observability fields (resolved algorithm, tier, palette bound,
+// measured colors, and the run's round/activation cost). The default body
+// stays byte-identical to previous releases; this envelope is additive and
+// versioned by its own shape.
+type DetailResponse struct {
+	Key     string `json:"key"`
+	Kind    string `json:"kind"`
+	Alg     string `json:"alg"`
+	Quality string `json:"quality"`
+	Graph   string `json:"graph"`
+	N       int    `json:"n"`
+	M       int    `json:"m"`
+	Delta   int    `json:"delta"`
+	// PaletteBound is the algorithm's guaranteed bound for this instance;
+	// ColorsUsed is the measured distinct-color count (<= PaletteBound).
+	PaletteBound int   `json:"paletteBound"`
+	ColorsUsed   int   `json:"colorsUsed"`
+	Rounds       int   `json:"rounds"`
+	Activations  int   `json:"activations"`
+	Colors       []int `json:"colors"`
+}
+
 // canonReq is a validated request bound to its cached graph: everything an
 // execution needs, resolved up front so exec-time errors are limited to
 // genuine runtime failures.
 type canonReq struct {
 	req   Request // defaults filled in
+	alg   *algreg.Algorithm
 	entry *graphEntry
 	key   string
 	// hash is cacheHashString(key), computed once at resolve time: it picks
@@ -103,19 +134,23 @@ type canonReq struct {
 // Grid(6,1), say) — each response must echo its own request's spec, while
 // colors, stats, and shape are key-determined and shared.
 type record struct {
-	kind, alg            string
+	kind, alg, quality   string
 	n, m, delta, palette int
+	colorsUsed           int
 	colors               []int
 	stats                dist.Stats
 }
 
-const recordTag = "colord-rec-v1"
+// recordTag versions the wire record; v2 added quality and colorsUsed. A
+// v1 peer's record fails the tag check and the fill degrades to a local
+// run — never to serving a misdecoded body.
+const recordTag = "colord-rec-v2"
 
 func (rec *record) encode() []byte {
 	var w wire.Writer
 	w.String(recordTag)
-	w.String(rec.kind).String(rec.alg)
-	w.Int(rec.n).Int(rec.m).Int(rec.delta).Int(rec.palette)
+	w.String(rec.kind).String(rec.alg).String(rec.quality)
+	w.Int(rec.n).Int(rec.m).Int(rec.delta).Int(rec.palette).Int(rec.colorsUsed)
 	w.Int(rec.stats.Rounds).Int(rec.stats.Bytes).Int(rec.stats.MaxMessageBytes).Int(rec.stats.Activations)
 	w.Ints(rec.colors)
 	return w.Bytes()
@@ -127,8 +162,8 @@ func decodeRecord(b []byte) (*record, error) {
 		return nil, fmt.Errorf("service: cache record tag %q, want %q", tag, recordTag)
 	}
 	rec := &record{}
-	rec.kind, rec.alg = r.ReadString(), r.ReadString()
-	rec.n, rec.m, rec.delta, rec.palette = r.Int(), r.Int(), r.Int(), r.Int()
+	rec.kind, rec.alg, rec.quality = r.ReadString(), r.ReadString(), r.ReadString()
+	rec.n, rec.m, rec.delta, rec.palette, rec.colorsUsed = r.Int(), r.Int(), r.Int(), r.Int(), r.Int()
 	rec.stats = dist.Stats{Rounds: r.Int(), Bytes: r.Int(), MaxMessageBytes: r.Int(), Activations: r.Int()}
 	rec.colors = r.Ints()
 	if err := r.Err(); err != nil {
@@ -148,7 +183,7 @@ func (rec *record) response(key, graphName string) *Response {
 		Graph: graphName,
 		N:     rec.n, M: rec.m, Delta: rec.delta,
 		Palette:   rec.palette,
-		NumColors: graph.CountColors(rec.colors),
+		NumColors: rec.colorsUsed,
 		Colors:    rec.colors,
 		Stats: Stats{
 			Rounds:          rec.stats.Rounds,
@@ -156,6 +191,20 @@ func (rec *record) response(key, graphName string) *Response {
 			MaxMessageBytes: rec.stats.MaxMessageBytes,
 			Activations:     rec.stats.Activations,
 		},
+	}
+}
+
+func (rec *record) detail(key, graphName string) *DetailResponse {
+	return &DetailResponse{
+		Key:  key,
+		Kind: rec.kind, Alg: rec.alg, Quality: rec.quality,
+		Graph: graphName,
+		N:     rec.n, M: rec.m, Delta: rec.delta,
+		PaletteBound: rec.palette,
+		ColorsUsed:   rec.colorsUsed,
+		Rounds:       rec.stats.Rounds,
+		Activations:  rec.stats.Activations,
+		Colors:       rec.colors,
 	}
 }
 

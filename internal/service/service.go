@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/algreg"
 	"repro/internal/dist"
 )
 
@@ -196,6 +197,21 @@ type ServiceStats struct {
 	Fast       CacheStats        `json:"fastCache"`
 	Pools      []PoolSnapshot    `json:"pools"`
 	Sessions   []SessionSnapshot `json:"sessions"`
+	// Algs is the per-algorithm plane: one row per servable registry entry,
+	// in registry order. Requests counts every request resolved to the
+	// algorithm (hit or miss); ColorsUsed/PaletteBound are last-run gauges,
+	// 0 until the first fresh run or peer fill lands.
+	Algs []AlgStats `json:"algs"`
+}
+
+// AlgStats is one per-algorithm /statz row.
+type AlgStats struct {
+	Kind         string `json:"kind"`
+	Alg          string `json:"alg"`
+	Quality      string `json:"quality"`
+	Requests     int64  `json:"requests"`
+	ColorsUsed   int64  `json:"colorsUsed"`
+	PaletteBound int64  `json:"paletteBound"`
 }
 
 // Service is the coloring service. Create with New, serve with Handle or
@@ -217,6 +233,13 @@ type Service struct {
 	counters serviceCounters
 	batches  atomic.Int64
 	maxBatch atomic.Int64
+	// algGauges holds the last measured palette figures per servable
+	// algorithm (ServeIndex slots), written whenever a fresh run or a peer
+	// fill produces a record. Gauges, not counters: /statz shows the most
+	// recent observation, which is what a palette-quality dashboard wants.
+	algGauges [algreg.MaxServable]struct {
+		colorsUsed, paletteBound atomic.Int64
+	}
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -293,6 +316,24 @@ func (s *Service) Handle(req Request) (*Response, Outcome, error) {
 	return rec.response(c.key, c.req.Graph.String()), outcome, nil
 }
 
+// HandleDetail serves one request through the same core path as Handle but
+// renders the ?detail=1 envelope: resolved algorithm, quality tier, palette
+// bound, and measured color count alongside the coloring. Detail requests
+// share the result cache with plain ones (the envelope is a render choice,
+// not a different computation) but bypass the wire fast path.
+func (s *Service) HandleDetail(req Request) (*DetailResponse, Outcome, error) {
+	c, v, outcome, err := s.handleCore(req)
+	if err != nil {
+		return nil, "", err
+	}
+	rec, err := decodeRecord(v.rec)
+	if err != nil {
+		s.counters.stripe(c.hash).errors.Add(1)
+		return nil, "", err
+	}
+	return rec.detail(c.key, c.req.Graph.String()), outcome, nil
+}
+
 // HandleRaw serves one request straight from its raw JSON bytes. A repeat
 // body is a wire fast-path hit: one hash, one striped lookup, and the
 // prerendered response bytes back — zero allocations, no JSON decoded or
@@ -341,6 +382,7 @@ func (s *Service) handleCore(req Request) (*canonReq, *cacheValue, Outcome, erro
 	}
 	ctr := s.counters.stripe(c.hash)
 	ctr.requests.Add(1)
+	ctr.algRequests[c.alg.ServeIndex()].Add(1)
 	if v, ok := s.cache.getHash(c.key, c.hash); ok {
 		ctr.hits.Add(1)
 		return c, v, Hit, nil
@@ -450,8 +492,9 @@ func (s *Service) exec(f *flight) {
 		// corrupt or impostor response degrades to computing, never to
 		// serving bad bytes.
 		if raw := s.cfg.RemoteFill(f.c.req.Graph.String(), f.c.key); raw != nil {
-			if _, err := decodeRecord(raw); err == nil {
+			if rec, err := decodeRecord(raw); err == nil {
 				s.counters.stripe(f.c.hash).filled.Add(1)
+				s.observePalette(f.c, rec)
 				v = s.cache.putHash(f.c.key, f.c.hash, newCacheValue(f.c.key, raw))
 				ok = true
 			}
@@ -464,6 +507,7 @@ func (s *Service) exec(f *flight) {
 			s.fail(f, err)
 			return
 		}
+		s.observePalette(f.c, rec)
 		v = s.cache.putHash(f.c.key, f.c.hash, newCacheValue(f.c.key, rec.encode()))
 	}
 	if _, err := v.bodyFor(f.c.req.Graph.String()); err != nil {
@@ -478,6 +522,14 @@ func (s *Service) exec(f *flight) {
 	for _, ch := range waiters {
 		ch <- flightResult{val: v}
 	}
+}
+
+// observePalette stores a record's measured palette figures into the
+// algorithm's /statz gauges.
+func (s *Service) observePalette(c *canonReq, rec *record) {
+	g := &s.algGauges[c.alg.ServeIndex()]
+	g.colorsUsed.Store(int64(rec.colorsUsed))
+	g.paletteBound.Store(int64(rec.palette))
 }
 
 // fail delivers err to every waiter of f and retires the flight.
@@ -507,6 +559,18 @@ func (s *Service) CachedRecord(key string) ([]byte, bool) {
 // Stats snapshots the service counters, caches, and per-graph runner pools.
 func (s *Service) Stats() ServiceStats {
 	t := s.counters.totals()
+	servable := algreg.Servable()
+	algs := make([]AlgStats, len(servable))
+	for i, a := range servable {
+		algs[i] = AlgStats{
+			Kind:         a.Kind,
+			Alg:          a.Name,
+			Quality:      a.Quality,
+			Requests:     t.algRequests[a.ServeIndex()],
+			ColorsUsed:   s.algGauges[a.ServeIndex()].colorsUsed.Load(),
+			PaletteBound: s.algGauges[a.ServeIndex()].paletteBound.Load(),
+		}
+	}
 	return ServiceStats{
 		Engine:      s.cfg.Engine.String(),
 		Requests:    t.requests,
@@ -530,5 +594,6 @@ func (s *Service) Stats() ServiceStats {
 		Fast:        s.fast.snapshot(),
 		Pools:       s.graphs.snapshot(),
 		Sessions:    s.sessions.snapshot(),
+		Algs:        algs,
 	}
 }

@@ -2,9 +2,11 @@
 # bench_service.sh — drive the colord service with cmd/loadgen and emit
 # BENCH_service.json through the cmd/benchjson pipeline.
 #
-# Five workloads are measured. Four drive an in-process colord over the full
+# Six workloads are measured. Five drive an in-process colord over the full
 # HTTP round trip on loopback: coloring mixes "small" (few distinct keys,
-# cache-dominated steady state) and "medium" (many keys, execution-heavy) with
+# cache-dominated steady state), "medium" (many keys, execution-heavy), and
+# "fewcolors" (the quality knob's low-palette tier; its colors-used metric is
+# the mean measured palette and gates exactly) with
 # loadgen's raw persistent-connection driver; the "churn" workload —
 # per-client dynamic sessions streaming mutation batches through /v1/mutate
 # with incremental repair; and the "subscribe" workload — one rate-paced
@@ -59,6 +61,11 @@ go build -o "$BINDIR/loadgen" ./cmd/loadgen
 "$BINDIR/loadgen" -bench -duration "$DURATION" -clients "$CLIENTS" -mix small -seeds 8 ${ENGINE:+-engine "$ENGINE"} | tee "$TXT"
 sleep "$SETTLE"
 "$BINDIR/loadgen" -bench -duration "$DURATION" -clients "$CLIENTS" -mix medium -seeds 32 ${ENGINE:+-engine "$ENGINE"} | tee -a "$TXT"
+sleep "$SETTLE"
+# The quality=fewcolors row: the same closed loop over the fewcolors tier.
+# Its colors-used metric (mean measured palette, deterministic) gates exactly
+# in benchcmp; its latency gates at the usual factor.
+"$BINDIR/loadgen" -bench -duration "$DURATION" -clients "$CLIENTS" -mix fewcolors -seeds 8 ${ENGINE:+-engine "$ENGINE"} | tee -a "$TXT"
 sleep "$SETTLE"
 "$BINDIR/loadgen" -bench -mode churn -duration "$DURATION" -clients "$CLIENTS" -mix small -batch 16 | tee -a "$TXT"
 sleep "$SETTLE"
